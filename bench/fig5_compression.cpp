@@ -1,0 +1,106 @@
+// Figure 5 (a, b, c): Canopus vs direct multi-level compression.
+//
+// For each dataset and each total level count N in 1..4, compare the total
+// normalized size (stored bytes / raw L0 bytes) of
+//   direct : compress L^0 .. L^{N-1} independently, and
+//   canopus: compress L^{N-1} plus the deltas delta^{l-(l+1)}.
+// Also reports encode+decode wall time per approach, backing the paper's
+// "both cases result in similar compression speed" observation.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "compress/codec.hpp"
+#include "core/delta.hpp"
+#include "mesh/cascade.hpp"
+#include "util/timer.hpp"
+
+using namespace canopus;
+
+namespace {
+
+struct Sizes {
+  std::size_t stored = 0;
+  double encode_s = 0.0;
+  double decode_s = 0.0;
+};
+
+Sizes canopus_sizes(const mesh::Cascade& cascade, const compress::Codec& codec,
+                    double eb) {
+  Sizes out;
+  util::WallTimer t;
+  std::vector<util::Bytes> streams;
+  streams.push_back(codec.encode(cascade.levels.back().values, eb));
+  for (std::size_t l = cascade.level_count() - 1; l-- > 0;) {
+    const auto& fine = cascade.levels[l];
+    const auto& coarse = cascade.levels[l + 1];
+    const auto mapping = core::build_mapping(fine.mesh, coarse.mesh);
+    const auto delta = core::compute_delta(coarse.mesh, coarse.values,
+                                           fine.values, mapping,
+                                           core::EstimateMode::kUniformThirds);
+    streams.push_back(codec.encode(delta, eb));
+  }
+  out.encode_s = t.seconds();
+  for (const auto& s : streams) out.stored += s.size();
+  t.reset();
+  for (const auto& s : streams) codec.decode(s);
+  out.decode_s = t.seconds();
+  return out;
+}
+
+Sizes direct_sizes(const mesh::Cascade& cascade, const compress::Codec& codec,
+                   double eb) {
+  Sizes out;
+  util::WallTimer t;
+  std::vector<util::Bytes> streams;
+  for (const auto& level : cascade.levels) {
+    streams.push_back(codec.encode(level.values, eb));
+  }
+  out.encode_s = t.seconds();
+  for (const auto& s : streams) out.stored += s.size();
+  t.reset();
+  for (const auto& s : streams) codec.decode(s);
+  out.decode_s = t.seconds();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const double scale = cli.get_double("scale", 1.0);
+  const double eb = cli.get_double("eb", 1e-3);
+  const auto codec = compress::make_codec(cli.get("codec", "zfp"));
+
+  std::cout << "Figure 5: Canopus vs direct compression (codec="
+            << codec->name() << ", abs error bound=" << eb << ")\n\n";
+
+  for (const auto& ds : sim::all_datasets(scale)) {
+    const std::size_t raw = ds.values.size() * sizeof(double);
+    util::Table t({"total-levels", "direct", "canopus", "improvement",
+                   "direct-enc(s)", "canopus-enc(s)", "direct-dec(s)",
+                   "canopus-dec(s)"});
+    for (std::size_t n = 1; n <= 4; ++n) {
+      mesh::CascadeOptions copt;
+      copt.levels = n;
+      const auto cascade = mesh::build_cascade(ds.mesh, ds.values, copt);
+      const auto d = direct_sizes(cascade, *codec, eb);
+      const auto c = canopus_sizes(cascade, *codec, eb);
+      const double dn = static_cast<double>(d.stored) / static_cast<double>(raw);
+      const double cn = static_cast<double>(c.stored) / static_cast<double>(raw);
+      t.add_row({std::to_string(n), util::Table::num(dn, 4),
+                 util::Table::num(cn, 4),
+                 util::Table::pct(dn > 0 ? (dn - cn) / dn : 0.0),
+                 util::Table::num(d.encode_s, 4), util::Table::num(c.encode_s, 4),
+                 util::Table::num(d.decode_s, 4), util::Table::num(c.decode_s, 4)});
+    }
+    const char panel = ds.name == "xgc1" ? 'a' : ds.name == "genasis" ? 'b' : 'c';
+    t.print(std::cout, std::string("Fig. 5") + panel + " " + ds.name + " (" +
+                           ds.variable + "), normalized size vs total levels");
+    if (cli.has("csv")) {
+      t.save_csv(cli.get("csv", ".") + "/fig5" + panel + "_" + ds.name + ".csv");
+    }
+    std::cout << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,178 @@
+// google-benchmark microbenchmarks of the kernels underneath every figure:
+// codec encode/decode throughput, edge-collapse decimation, point location,
+// delta calculation/restoration, and blob detection.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "analytics/blob.hpp"
+#include "analytics/raster.hpp"
+#include "compress/codec.hpp"
+#include "core/delta.hpp"
+#include "mesh/cascade.hpp"
+#include "mesh/decimate.hpp"
+#include "mesh/generators.hpp"
+#include "mesh/point_locator.hpp"
+#include "grid/structured.hpp"
+#include "sim/datasets.hpp"
+#include "util/rng.hpp"
+
+using namespace canopus;
+
+namespace {
+
+std::vector<double> bench_signal(std::size_t n) {
+  std::vector<double> xs(n);
+  util::Rng rng(12);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = std::sin(static_cast<double>(i) * 0.003) * 40.0 +
+            rng.normal(0.0, 0.5);
+  }
+  return xs;
+}
+
+const sim::Dataset& xgc_small() {
+  static const sim::Dataset ds = [] {
+    sim::XgcOptions opt;
+    opt.rings = 40;
+    opt.sectors = 200;
+    return sim::make_xgc_dataset(opt);
+  }();
+  return ds;
+}
+
+}  // namespace
+
+static void BM_CodecEncode(benchmark::State& state, const std::string& name) {
+  const auto codec = compress::make_codec(name);
+  const auto xs = bench_signal(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec->encode(xs, 1e-4));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(xs.size() * sizeof(double)));
+}
+
+static void BM_CodecDecode(benchmark::State& state, const std::string& name) {
+  const auto codec = compress::make_codec(name);
+  const auto xs = bench_signal(static_cast<std::size_t>(state.range(0)));
+  const auto enc = codec->encode(xs, 1e-4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec->decode(enc));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(xs.size() * sizeof(double)));
+}
+
+BENCHMARK_CAPTURE(BM_CodecEncode, zfp, std::string("zfp"))->Arg(1 << 16);
+BENCHMARK_CAPTURE(BM_CodecEncode, sz, std::string("sz"))->Arg(1 << 16);
+BENCHMARK_CAPTURE(BM_CodecEncode, fpc, std::string("fpc"))->Arg(1 << 16);
+BENCHMARK_CAPTURE(BM_CodecEncode, lzss, std::string("lzss"))->Arg(1 << 16);
+BENCHMARK_CAPTURE(BM_CodecDecode, zfp, std::string("zfp"))->Arg(1 << 16);
+BENCHMARK_CAPTURE(BM_CodecDecode, sz, std::string("sz"))->Arg(1 << 16);
+BENCHMARK_CAPTURE(BM_CodecDecode, fpc, std::string("fpc"))->Arg(1 << 16);
+
+static void BM_Decimate2x(benchmark::State& state) {
+  const auto& ds = xgc_small();
+  mesh::DecimateOptions opt;
+  opt.ratio = 2.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mesh::decimate(ds.mesh, ds.values, opt));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ds.mesh.vertex_count()));
+}
+BENCHMARK(BM_Decimate2x)->Unit(benchmark::kMillisecond);
+
+static void BM_PointLocation(benchmark::State& state) {
+  const auto& ds = xgc_small();
+  const mesh::PointLocator locator(ds.mesh);
+  util::Rng rng(3);
+  // Sample inside the annulus body so we measure the grid path, not the
+  // outside-point fallback.
+  for (auto _ : state) {
+    const double r = rng.uniform(0.35, 0.95);
+    const double theta = rng.uniform(0.0, 6.28);
+    benchmark::DoNotOptimize(
+        locator.try_locate({r * std::cos(theta), r * std::sin(theta)}));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PointLocation);
+
+static void BM_DeltaAndRestore(benchmark::State& state) {
+  const auto& ds = xgc_small();
+  mesh::DecimateOptions opt;
+  opt.ratio = 2.0;
+  const auto coarse = mesh::decimate(ds.mesh, ds.values, opt);
+  const auto mapping = core::build_mapping(ds.mesh, coarse.mesh);
+  for (auto _ : state) {
+    const auto delta =
+        core::compute_delta(coarse.mesh, coarse.values, ds.values, mapping,
+                            core::EstimateMode::kUniformThirds);
+    benchmark::DoNotOptimize(
+        core::restore_level(coarse.mesh, coarse.values, delta, mapping,
+                            core::EstimateMode::kUniformThirds));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ds.mesh.vertex_count()));
+}
+BENCHMARK(BM_DeltaAndRestore)->Unit(benchmark::kMillisecond);
+
+static void BM_BlobDetection(benchmark::State& state) {
+  const auto& ds = xgc_small();
+  const auto bounds = ds.mesh.bounds();
+  const auto raster = analytics::rasterize(ds.mesh, ds.values, 300, 300, bounds);
+  const auto [lo, hi] =
+      std::minmax_element(ds.values.begin(), ds.values.end());
+  const auto img = analytics::to_gray8(raster, *lo, *hi);
+  analytics::BlobParams params;
+  params.min_threshold = 10;
+  params.max_threshold = 200;
+  params.min_area = 100;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analytics::detect_blobs(img, 300, 300, params));
+  }
+}
+BENCHMARK(BM_BlobDetection)->Unit(benchmark::kMillisecond);
+
+static void BM_Rasterize(benchmark::State& state) {
+  const auto& ds = xgc_small();
+  const auto bounds = ds.mesh.bounds();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analytics::rasterize(ds.mesh, ds.values, 300, 300, bounds));
+  }
+}
+BENCHMARK(BM_Rasterize)->Unit(benchmark::kMillisecond);
+
+static void BM_SpatialOrder(benchmark::State& state) {
+  const auto& ds = xgc_small();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mesh::spatial_order(ds.mesh));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ds.mesh.vertex_count()));
+}
+BENCHMARK(BM_SpatialOrder)->Unit(benchmark::kMillisecond);
+
+static void BM_GridCoarsenDelta(benchmark::State& state) {
+  grid::GridShape shape;
+  shape.nx = 512;
+  shape.ny = 512;
+  grid::GridField f(shape.point_count());
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    f[i] = std::sin(static_cast<double>(i) * 1e-3);
+  }
+  for (auto _ : state) {
+    const auto coarse = grid::coarsen(shape, f);
+    benchmark::DoNotOptimize(
+        grid::compute_grid_delta(shape, f, shape.coarsened(), coarse));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(shape.point_count()));
+}
+BENCHMARK(BM_GridCoarsenDelta)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

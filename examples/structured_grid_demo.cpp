@@ -1,0 +1,73 @@
+// The structured-grid path (Section III-C covers "both structured and
+// unstructured meshes"): refactor a uniform-grid field into a base pyramid
+// level plus bilinear-estimate deltas, place it across tiers, and read it
+// back progressively.
+//
+//   $ ./structured_grid_demo [--nx=512] [--ny=384] [--levels=5]
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/canopus.hpp"
+#include "grid/refactor.hpp"
+#include "storage/hierarchy.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+
+using namespace canopus;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  grid::GridShape shape;
+  shape.nx = static_cast<std::size_t>(cli.get_int("nx", 512));
+  shape.ny = static_cast<std::size_t>(cli.get_int("ny", 384));
+  shape.dx = 1.0 / static_cast<double>(shape.nx);
+  shape.dy = 1.0 / static_cast<double>(shape.ny);
+
+  // A vortical pressure field with a sharp front: smooth at large scales,
+  // structured detail at fine ones.
+  grid::GridField values(shape.point_count());
+  for (std::size_t y = 0; y < shape.ny; ++y) {
+    for (std::size_t x = 0; x < shape.nx; ++x) {
+      const double px = static_cast<double>(x) * shape.dx;
+      const double py = static_cast<double>(y) * shape.dy;
+      const double r = std::hypot(px - 0.5, py - 0.5);
+      values[y * shape.nx + x] =
+          std::tanh((0.3 - r) * 40.0) + 0.15 * std::sin(20.0 * px) *
+                                            std::cos(16.0 * py);
+    }
+  }
+  std::printf("structured field: %zux%zu points (%.1f KiB raw)\n", shape.nx,
+              shape.ny,
+              static_cast<double>(values.size() * sizeof(double)) / 1024.0);
+
+  storage::StorageHierarchy tiers(
+      {storage::tmpfs_spec(2 << 20), storage::lustre_spec(1 << 30)});
+  core::RefactorConfig config;
+  config.levels = static_cast<std::size_t>(cli.get_int("levels", 5));
+  config.codec = "zfp";
+  config.error_bound = 1e-6;
+  const auto report = grid::refactor_and_write_grid(tiers, "grid.bp",
+                                                    "pressure", shape, values,
+                                                    config);
+  std::printf("stored %.1f KiB across the hierarchy (%.1fx reduction)\n\n",
+              static_cast<double>(report.stored_bytes) / 1024.0,
+              static_cast<double>(report.raw_bytes) /
+                  static_cast<double>(report.stored_bytes));
+
+  grid::GridProgressiveReader reader(tiers, "grid.bp", "pressure");
+  std::printf("%-6s %-12s %-10s %s\n", "level", "grid", "decimation",
+              "cumulative-io(ms)");
+  for (;;) {
+    std::printf("L%-5u %zux%-9zu %-10.1f %.3f\n", reader.current_level(),
+                reader.current_shape().nx, reader.current_shape().ny,
+                reader.decimation_ratio(),
+                reader.cumulative().io_seconds * 1e3);
+    if (reader.at_full_accuracy()) break;
+    reader.refine();
+  }
+  std::printf("\nfull-accuracy max error: %.2e (budget %.2e)\n",
+              util::max_abs_error(values, reader.values()),
+              static_cast<double>(config.levels) * config.error_bound);
+  return 0;
+}

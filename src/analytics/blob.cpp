@@ -1,0 +1,221 @@
+#include "analytics/blob.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/assert.hpp"
+
+namespace canopus::analytics {
+
+namespace {
+
+/// Union-find over pixel labels for two-pass connected-component labeling.
+class UnionFind {
+ public:
+  std::uint32_t make() {
+    parent_.push_back(static_cast<std::uint32_t>(parent_.size()));
+    return parent_.back();
+  }
+  std::uint32_t find(std::uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::uint32_t a, std::uint32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent_[std::max(a, b)] = std::min(a, b);
+  }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+};
+
+struct Component {
+  double sum_x = 0.0;
+  double sum_y = 0.0;
+  std::size_t area = 0;
+
+  mesh::Vec2 centroid() const {
+    const double n = static_cast<double>(area);
+    return {sum_x / n, sum_y / n};
+  }
+};
+
+/// One threshold slice: binarize at `threshold` and return the centers/areas
+/// of 8-connected bright components within the area filter.
+std::vector<Blob> slice_blobs(const std::vector<std::uint8_t>& image,
+                              std::size_t width, std::size_t height,
+                              double threshold, const BlobParams& params) {
+  constexpr std::uint32_t kNone = static_cast<std::uint32_t>(-1);
+  std::vector<std::uint32_t> label(width * height, kNone);
+  UnionFind uf;
+  auto bright = [&](std::size_t x, std::size_t y) {
+    return static_cast<double>(image[y * width + x]) > threshold;
+  };
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      if (!bright(x, y)) continue;
+      // Previously scanned 8-neighbors: W, NW, N, NE.
+      std::uint32_t best = kNone;
+      const auto consider = [&](std::size_t nx, std::size_t ny) {
+        const auto l = label[ny * width + nx];
+        if (l == kNone) return;
+        if (best == kNone) {
+          best = l;
+        } else {
+          uf.unite(best, l);
+        }
+      };
+      if (x > 0) consider(x - 1, y);
+      if (y > 0) {
+        consider(x, y - 1);
+        if (x > 0) consider(x - 1, y - 1);
+        if (x + 1 < width) consider(x + 1, y - 1);
+      }
+      label[y * width + x] = best == kNone ? uf.make() : best;
+    }
+  }
+  // Accumulate per-root statistics.
+  std::vector<Component> comps;
+  std::vector<std::uint32_t> root_to_comp;
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      auto l = label[y * width + x];
+      if (l == kNone) continue;
+      const auto root = uf.find(l);
+      if (root >= root_to_comp.size()) root_to_comp.resize(root + 1, kNone);
+      if (root_to_comp[root] == kNone) {
+        root_to_comp[root] = static_cast<std::uint32_t>(comps.size());
+        comps.emplace_back();
+      }
+      auto& c = comps[root_to_comp[root]];
+      c.sum_x += static_cast<double>(x);
+      c.sum_y += static_cast<double>(y);
+      ++c.area;
+    }
+  }
+  std::vector<Blob> out;
+  for (const auto& c : comps) {
+    const auto area = static_cast<double>(c.area);
+    if (area < params.min_area || area > params.max_area) continue;
+    Blob b;
+    b.center = c.centroid();
+    b.area = area;
+    b.diameter = 2.0 * std::sqrt(area / std::numbers::pi);
+    out.push_back(b);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Blob> detect_blobs(const std::vector<std::uint8_t>& image,
+                               std::size_t width, std::size_t height,
+                               const BlobParams& params) {
+  CANOPUS_CHECK(image.size() == width * height, "blob: image size mismatch");
+  CANOPUS_CHECK(params.threshold_step > 0, "blob: threshold step must be > 0");
+
+  // Candidate blob tracks accumulated across threshold slices.
+  struct Track {
+    std::vector<Blob> slices;
+    mesh::Vec2 last_center;
+  };
+  std::vector<Track> tracks;
+
+  for (double t = params.min_threshold; t < params.max_threshold;
+       t += params.threshold_step) {
+    const auto slice = slice_blobs(image, width, height, t, params);
+    for (const auto& b : slice) {
+      Track* best = nullptr;
+      double best_d = params.min_dist_between_blobs;
+      for (auto& track : tracks) {
+        const double d = mesh::distance(track.last_center, b.center);
+        if (d < best_d) {
+          best_d = d;
+          best = &track;
+        }
+      }
+      if (best) {
+        best->slices.push_back(b);
+        best->last_center = b.center;
+      } else {
+        tracks.push_back(Track{{b}, b.center});
+      }
+    }
+  }
+
+  std::vector<Blob> out;
+  for (const auto& track : tracks) {
+    if (track.slices.size() < params.min_repeatability) continue;
+    Blob merged;
+    for (const auto& b : track.slices) {
+      merged.center += b.center;
+      merged.diameter += b.diameter;
+      merged.area += b.area;
+    }
+    const double n = static_cast<double>(track.slices.size());
+    merged.center = merged.center / n;
+    merged.diameter /= n;
+    merged.area /= n;
+    out.push_back(merged);
+  }
+  // Deterministic order: by descending area then x.
+  std::sort(out.begin(), out.end(), [](const Blob& a, const Blob& b) {
+    return a.area != b.area ? a.area > b.area : a.center.x < b.center.x;
+  });
+  return out;
+}
+
+BlobStats summarize(const std::vector<Blob>& blobs) {
+  BlobStats s;
+  s.count = blobs.size();
+  for (const auto& b : blobs) {
+    s.mean_diameter += b.diameter;
+    s.aggregate_area += b.area;
+  }
+  if (!blobs.empty()) s.mean_diameter /= static_cast<double>(blobs.size());
+  return s;
+}
+
+double overlap_ratio(const std::vector<Blob>& detected,
+                     const std::vector<Blob>& reference) {
+  if (detected.empty()) return 1.0;
+  std::size_t overlapping = 0;
+  for (const auto& d : detected) {
+    for (const auto& r : reference) {
+      if (mesh::distance(d.center, r.center) < d.radius() + r.radius()) {
+        ++overlapping;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(overlapping) / static_cast<double>(detected.size());
+}
+
+void annotate_blobs(std::vector<std::uint8_t>& image, std::size_t width,
+                    std::size_t height, const std::vector<Blob>& blobs,
+                    std::uint8_t intensity, double margin) {
+  CANOPUS_CHECK(image.size() == width * height, "annotate: image size mismatch");
+  for (const auto& b : blobs) {
+    const double r = b.radius() + margin;
+    // Midpoint-style sweep: walk the angle finely enough that every ring
+    // pixel gets hit at least once.
+    const int steps = std::max(16, static_cast<int>(8.0 * r));
+    for (int s = 0; s < steps; ++s) {
+      const double theta = 2.0 * std::numbers::pi * s / steps;
+      const auto x = static_cast<long>(std::lround(b.center.x + r * std::cos(theta)));
+      const auto y = static_cast<long>(std::lround(b.center.y + r * std::sin(theta)));
+      if (x >= 0 && y >= 0 && x < static_cast<long>(width) &&
+          y < static_cast<long>(height)) {
+        image[static_cast<std::size_t>(y) * width + static_cast<std::size_t>(x)] =
+            intensity;
+      }
+    }
+  }
+}
+
+}  // namespace canopus::analytics

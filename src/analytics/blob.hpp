@@ -1,0 +1,65 @@
+#pragma once
+// Blob detection on 8-bit images, modeled on OpenCV's SimpleBlobDetector —
+// the tool the paper uses to find regions of high electrostatic potential in
+// XGC1 dpot planes (Section IV-D).
+//
+// Pipeline (bright blobs): sweep thresholds from minThreshold to maxThreshold
+// in thresholdStep increments; binarize; label 8-connected components; keep
+// components with area >= minArea (and <= maxArea); merge centers closer than
+// minDistBetweenBlobs across thresholds; report blobs seen in at least
+// minRepeatability threshold slices with their averaged center and diameter.
+
+#include <cstdint>
+#include <vector>
+
+#include "mesh/geometry.hpp"
+
+namespace canopus::analytics {
+
+/// The paper's parameter triple is <minThreshold, maxThreshold, minArea>.
+struct BlobParams {
+  double min_threshold = 10.0;
+  double max_threshold = 200.0;
+  double threshold_step = 10.0;
+  double min_area = 100.0;   // square pixels
+  double max_area = 1e9;
+  double min_dist_between_blobs = 10.0;  // pixels
+  std::size_t min_repeatability = 2;
+};
+
+struct Blob {
+  mesh::Vec2 center;   // pixels
+  double diameter = 0; // pixels, 2*sqrt(area/pi) averaged over slices
+  double area = 0;     // square pixels, averaged over slices
+
+  double radius() const { return diameter * 0.5; }
+};
+
+/// Detects bright blobs in a row-major width x height 8-bit image.
+std::vector<Blob> detect_blobs(const std::vector<std::uint8_t>& image,
+                               std::size_t width, std::size_t height,
+                               const BlobParams& params);
+
+/// Summary statistics of one detection — the quantities of Fig. 8a-c.
+struct BlobStats {
+  std::size_t count = 0;
+  double mean_diameter = 0.0;   // pixels (Fig. 8b)
+  double aggregate_area = 0.0;  // square pixels (Fig. 8c)
+};
+BlobStats summarize(const std::vector<Blob>& blobs);
+
+/// Two blobs overlap when their center distance is below the sum of their
+/// radii (the paper's definition). Returns the fraction of `detected` blobs
+/// that overlap at least one `reference` blob (Fig. 8d); 1.0 when `detected`
+/// is empty (nothing contradicts the reference).
+double overlap_ratio(const std::vector<Blob>& detected,
+                     const std::vector<Blob>& reference);
+
+/// Draws circle outlines around the blobs onto a grayscale image in place
+/// (Fig. 7's "blobs are explicitly circled" presentation). `intensity` is
+/// the outline gray level; a small margin is added around each radius.
+void annotate_blobs(std::vector<std::uint8_t>& image, std::size_t width,
+                    std::size_t height, const std::vector<Blob>& blobs,
+                    std::uint8_t intensity = 255, double margin = 3.0);
+
+}  // namespace canopus::analytics

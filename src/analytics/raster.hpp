@@ -1,0 +1,41 @@
+#pragma once
+// Rasterization of a mesh field onto a pixel grid.
+//
+// The paper's blob-detection study (Figs. 7/8) runs OpenCV's blob detector on
+// 2-D images of the dpot variable and reports sizes in pixels; this module is
+// the mesh -> image step. Pixels are sampled at their centers via point
+// location + barycentric interpolation; pixels outside the mesh carry the
+// background value. Intensity quantization to 8 bits uses a caller-supplied
+// reference range so images of different accuracy levels stay comparable.
+
+#include <cstdint>
+#include <vector>
+
+#include "mesh/point_locator.hpp"
+#include "mesh/tri_mesh.hpp"
+
+namespace canopus::analytics {
+
+/// A W x H grid of doubles in row-major order.
+struct RasterField {
+  std::size_t width = 0;
+  std::size_t height = 0;
+  std::vector<double> pixels;
+  /// False where the pixel center fell outside the mesh.
+  std::vector<bool> inside;
+
+  double& at(std::size_t x, std::size_t y) { return pixels[y * width + x]; }
+  double at(std::size_t x, std::size_t y) const { return pixels[y * width + x]; }
+};
+
+/// Samples `values` over the mesh onto a width x height grid covering
+/// `bounds` (use the L0 mesh bounds for every level so pixels align).
+/// Outside pixels get `background`.
+RasterField rasterize(const mesh::TriMesh& mesh, const mesh::Field& values,
+                      std::size_t width, std::size_t height,
+                      const mesh::Aabb& bounds, double background = 0.0);
+
+/// 8-bit quantization against a fixed [lo, hi] reference range (clamped).
+std::vector<std::uint8_t> to_gray8(const RasterField& field, double lo, double hi);
+
+}  // namespace canopus::analytics

@@ -1,0 +1,20 @@
+#pragma once
+// FPC-style lossless double compressor (Burtscher & Ratanaworabhan, 2009).
+//
+// Two hash-table predictors — FCM (last value seen in this context) and DFCM
+// (last stride seen in this context) — race per value; the winner's
+// prediction is XORed with the actual bits and the leading zero bytes are
+// elided. Entirely lossless, fast, and effective on smooth time series.
+
+#include <span>
+#include <vector>
+
+#include "util/byte_buffer.hpp"
+
+namespace canopus::compress {
+
+/// table_bits selects predictor table size (2^table_bits entries).
+util::Bytes fpc_encode(std::span<const double> values, unsigned table_bits = 16);
+std::vector<double> fpc_decode(util::BytesView bytes);
+
+}  // namespace canopus::compress

@@ -1,0 +1,18 @@
+#pragma once
+// Canonical Huffman coding over byte symbols.
+//
+// Used standalone (entropy stage for byte streams) and as the back end of the
+// SZ-like codec's quantization-code stream. Code lengths are limited to 30
+// bits by count-scaling so the decoder's canonical tables stay small.
+
+#include "util/byte_buffer.hpp"
+
+namespace canopus::compress {
+
+/// Encodes arbitrary bytes; the stream embeds the code table and length.
+util::Bytes huffman_encode(util::BytesView input);
+
+/// Decodes a stream produced by huffman_encode.
+util::Bytes huffman_decode(util::BytesView input);
+
+}  // namespace canopus::compress

@@ -1,0 +1,135 @@
+#include "compress/lzss.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace canopus::compress {
+
+namespace {
+constexpr std::size_t kWindow = 32 * 1024;
+constexpr std::size_t kMinMatch = 3;
+constexpr std::size_t kMaxMatch = 258;
+constexpr std::size_t kHashBits = 15;
+constexpr std::size_t kMaxChain = 64;
+
+inline std::uint32_t hash3(const std::byte* p) {
+  const std::uint32_t v = static_cast<std::uint32_t>(p[0]) |
+                          (static_cast<std::uint32_t>(p[1]) << 8) |
+                          (static_cast<std::uint32_t>(p[2]) << 16);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+}  // namespace
+
+util::Bytes lzss_encode(util::BytesView input) {
+  util::ByteWriter out;
+  out.put_varint(input.size());
+
+  std::vector<std::int64_t> head(std::size_t{1} << kHashBits, -1);
+  std::vector<std::int64_t> prev(input.size(), -1);
+
+  std::vector<std::byte> tokens;  // token payload bytes
+  std::vector<bool> flags;        // one per token: true = match
+
+  std::size_t pos = 0;
+  auto insert_hash = [&](std::size_t p) {
+    if (p + kMinMatch <= input.size()) {
+      const auto h = hash3(input.data() + p);
+      prev[p] = head[h];
+      head[h] = static_cast<std::int64_t>(p);
+    }
+  };
+
+  while (pos < input.size()) {
+    std::size_t best_len = 0;
+    std::size_t best_off = 0;
+    if (pos + kMinMatch <= input.size()) {
+      const auto h = hash3(input.data() + pos);
+      std::int64_t cand = head[h];
+      std::size_t chain = 0;
+      while (cand >= 0 && chain < kMaxChain) {
+        const auto c = static_cast<std::size_t>(cand);
+        if (pos - c <= kWindow) {
+          const std::size_t limit = std::min(kMaxMatch, input.size() - pos);
+          std::size_t len = 0;
+          while (len < limit && input[c + len] == input[pos + len]) ++len;
+          if (len >= kMinMatch && len > best_len) {
+            best_len = len;
+            best_off = pos - c;
+            if (len == kMaxMatch) break;
+          }
+        } else {
+          break;  // chains are in decreasing position; older is further away
+        }
+        cand = prev[c];
+        ++chain;
+      }
+    }
+    if (best_len >= kMinMatch) {
+      flags.push_back(true);
+      tokens.push_back(static_cast<std::byte>(best_off & 0xFF));
+      tokens.push_back(static_cast<std::byte>((best_off >> 8) & 0xFF));
+      tokens.push_back(static_cast<std::byte>(best_len - kMinMatch));
+      for (std::size_t k = 0; k < best_len; ++k) insert_hash(pos + k);
+      pos += best_len;
+    } else {
+      flags.push_back(false);
+      tokens.push_back(input[pos]);
+      insert_hash(pos);
+      ++pos;
+    }
+  }
+
+  out.put_varint(flags.size());
+  // Pack flags 8 per byte, LSB first.
+  std::uint8_t acc = 0;
+  int fill = 0;
+  for (bool f : flags) {
+    if (f) acc |= static_cast<std::uint8_t>(1u << fill);
+    if (++fill == 8) {
+      out.put(acc);
+      acc = 0;
+      fill = 0;
+    }
+  }
+  if (fill > 0) out.put(acc);
+  out.put_bytes(tokens.data(), tokens.size());
+  return out.take();
+}
+
+util::Bytes lzss_decode(util::BytesView input) {
+  util::ByteReader in(input);
+  const auto total = in.get_varint();
+  const auto ntokens = in.get_varint();
+  CANOPUS_CHECK(ntokens / 8 <= in.remaining(), "lzss stream corrupt (tokens)");
+  // Each token yields at most kMaxMatch output bytes.
+  CANOPUS_CHECK(total <= ntokens * kMaxMatch, "lzss stream corrupt (length)");
+  const auto flag_bytes = in.get_bytes((ntokens + 7) / 8);
+
+  util::ByteWriter out_writer(total);
+  std::vector<std::byte> out;
+  out.reserve(total);
+  for (std::uint64_t t = 0; t < ntokens; ++t) {
+    const bool is_match =
+        (static_cast<std::uint8_t>(flag_bytes[t / 8]) >> (t % 8)) & 1u;
+    if (is_match) {
+      const auto lo = static_cast<std::size_t>(in.get<std::uint8_t>());
+      const auto hi = static_cast<std::size_t>(in.get<std::uint8_t>());
+      const std::size_t off = lo | (hi << 8);
+      const std::size_t len = static_cast<std::size_t>(in.get<std::uint8_t>()) + kMinMatch;
+      CANOPUS_CHECK(off > 0 && off <= out.size(), "lzss stream corrupt (offset)");
+      for (std::size_t k = 0; k < len; ++k) {
+        out.push_back(out[out.size() - off]);
+      }
+    } else {
+      out.push_back(in.get<std::byte>());
+    }
+  }
+  CANOPUS_CHECK(out.size() == total, "lzss stream corrupt (length)");
+  out_writer.put_bytes(out.data(), out.size());
+  return out_writer.take();
+}
+
+}  // namespace canopus::compress

@@ -1,0 +1,15 @@
+#pragma once
+// LZSS dictionary compression over raw bytes (lossless).
+//
+// 32 KiB sliding window, 3-byte minimum match, hash-chain match finder.
+// Token stream: flag bits grouped 8 per byte; a set flag introduces a
+// (offset, length) back-reference, a clear flag a literal byte.
+
+#include "util/byte_buffer.hpp"
+
+namespace canopus::compress {
+
+util::Bytes lzss_encode(util::BytesView input);
+util::Bytes lzss_decode(util::BytesView input);
+
+}  // namespace canopus::compress

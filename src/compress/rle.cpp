@@ -1,0 +1,49 @@
+#include "compress/rle.hpp"
+
+#include "util/assert.hpp"
+
+namespace canopus::compress {
+
+namespace {
+constexpr std::size_t kMaxRun = 65536;
+}
+
+util::Bytes rle_encode(util::BytesView input) {
+  util::ByteWriter out;
+  out.put_varint(input.size());
+  std::size_t i = 0;
+  while (i < input.size()) {
+    std::size_t run = 1;
+    while (i + run < input.size() && input[i + run] == input[i] &&
+           run < kMaxRun) {
+      ++run;
+    }
+    out.put_varint(run);
+    out.put(input[i]);
+    i += run;
+  }
+  return out.take();
+}
+
+util::Bytes rle_decode(util::BytesView input) {
+  util::ByteReader in(input);
+  const auto total = in.get_varint();
+  // Structural bound: every (run, byte) pair occupies >= 2 input bytes and
+  // contributes <= kMaxRun output bytes, so a corrupt header can never force
+  // an allocation beyond 32768x the stream that backs it.
+  CANOPUS_CHECK(total <= in.remaining() / 2 * kMaxRun + kMaxRun,
+                "rle stream corrupt (length)");
+  util::ByteWriter out(std::min<std::uint64_t>(total, 1 << 20));
+  std::size_t produced = 0;
+  while (produced < total) {
+    const auto run = in.get_varint();
+    CANOPUS_CHECK(run > 0 && run <= kMaxRun && produced + run <= total,
+                  "rle stream corrupt");
+    const auto b = in.get<std::byte>();
+    for (std::uint64_t k = 0; k < run; ++k) out.put(b);
+    produced += run;
+  }
+  return out.take();
+}
+
+}  // namespace canopus::compress

@@ -1,0 +1,16 @@
+#pragma once
+// Byte run-length encoding (lossless): cheap stage for highly repetitive
+// streams such as truncated bit-plane payloads and zero-heavy deltas.
+//
+// Format: varint total, then (count, byte) pairs with varint counts. Runs
+// are split at 65536 so a corrupt pair can never demand an unbounded
+// allocation: decode output is at most 32768x the remaining input.
+
+#include "util/byte_buffer.hpp"
+
+namespace canopus::compress {
+
+util::Bytes rle_encode(util::BytesView input);
+util::Bytes rle_decode(util::BytesView input);
+
+}  // namespace canopus::compress

@@ -1,0 +1,107 @@
+#include "compress/sz_like.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "compress/huffman.hpp"
+#include "util/assert.hpp"
+
+namespace canopus::compress {
+
+namespace {
+// Quantization codes are bounded so a burst of noise cannot blow up the
+// Huffman alphabet; anything beyond is stored raw.
+constexpr std::int64_t kMaxCode = 1 << 20;
+constexpr std::uint64_t kEscape = ~std::uint64_t{0};
+
+inline std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+inline std::int64_t unzigzag(std::uint64_t u) {
+  return static_cast<std::int64_t>(u >> 1) ^ -static_cast<std::int64_t>(u & 1);
+}
+}  // namespace
+
+util::Bytes sz_encode(std::span<const double> values, double error_bound) {
+  util::ByteWriter header;
+  header.put_varint(values.size());
+  header.put(error_bound);
+
+  if (!(error_bound > 0.0)) {
+    // Lossless fallback: verbatim payload.
+    header.put(static_cast<std::uint8_t>(0));
+    header.put_bytes(values.data(), values.size() * sizeof(double));
+    return header.take();
+  }
+  header.put(static_cast<std::uint8_t>(1));
+
+  const double step = 2.0 * error_bound;
+  util::ByteWriter codes;       // zigzag varints (kEscape marks raw value)
+  util::ByteWriter raw_values;  // unpredictable doubles
+  double prev = 0.0;            // decompressed previous value
+  for (double x : values) {
+    const double err = x - prev;
+    const double qf = std::nearbyint(err / step);
+    if (std::abs(qf) <= static_cast<double>(kMaxCode) && std::isfinite(qf)) {
+      const auto q = static_cast<std::int64_t>(qf);
+      const double rec = prev + static_cast<double>(q) * step;
+      // Guard against floating-point rounding pushing past the bound.
+      if (std::abs(rec - x) <= error_bound) {
+        codes.put_varint(zigzag(q));
+        prev = rec;
+        continue;
+      }
+    }
+    codes.put_varint(kEscape);
+    raw_values.put(x);
+    prev = x;
+  }
+
+  const util::Bytes packed = huffman_encode(codes.view());
+  header.put_vector(packed);
+  header.put_vector(raw_values.bytes());
+  return header.take();
+}
+
+std::vector<double> sz_decode(util::BytesView bytes) {
+  util::ByteReader in(bytes);
+  const auto count = in.get_varint();
+  const double error_bound = in.get<double>();
+  const auto mode = in.get<std::uint8_t>();
+
+  if (mode == 0) {
+    // Verbatim payload: validate the length before allocating.
+    CANOPUS_CHECK(count <= in.remaining() / sizeof(double),
+                  "sz stream corrupt (count)");
+    std::vector<double> out(count);
+    auto raw = in.get_bytes(count * sizeof(double));
+    std::memcpy(out.data(), raw.data(), raw.size());
+    return out;
+  }
+  CANOPUS_CHECK(mode == 1, "sz stream corrupt (mode)");
+
+  const auto packed = in.get_vector<std::byte>();
+  const auto raw_bytes = in.get_vector<std::byte>();
+  const util::Bytes code_stream = huffman_decode(packed);
+  // Every value consumed at least one code byte before entropy coding.
+  CANOPUS_CHECK(count <= code_stream.size(), "sz stream corrupt (count)");
+  std::vector<double> out(count);
+  util::ByteReader codes(code_stream);
+  util::ByteReader raws(raw_bytes);
+
+  const double step = 2.0 * error_bound;
+  double prev = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto u = codes.get_varint();
+    if (u == kEscape) {
+      prev = raws.get<double>();
+    } else {
+      prev += static_cast<double>(unzigzag(u)) * step;
+    }
+    out[i] = prev;
+  }
+  return out;
+}
+
+}  // namespace canopus::compress

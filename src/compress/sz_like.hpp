@@ -1,0 +1,21 @@
+#pragma once
+// SZ-style error-bounded lossy compressor (Di & Cappello, IPDPS'16 lineage).
+//
+// Each value is predicted from the *decompressed* previous value (1-D Lorenzo
+// predictor); the prediction error is quantized to an integer code with step
+// 2*eb so reconstruction error stays <= eb. Codes are zigzag-varint packed and
+// Huffman-coded; values whose code would overflow the code range are stored
+// verbatim ("unpredictable"). eb <= 0 degrades gracefully to verbatim storage
+// (lossless).
+
+#include <span>
+#include <vector>
+
+#include "util/byte_buffer.hpp"
+
+namespace canopus::compress {
+
+util::Bytes sz_encode(std::span<const double> values, double error_bound);
+std::vector<double> sz_decode(util::BytesView bytes);
+
+}  // namespace canopus::compress

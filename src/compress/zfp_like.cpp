@@ -1,0 +1,258 @@
+#include "compress/zfp_like.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+#include "util/assert.hpp"
+#include "util/bitstream.hpp"
+
+namespace canopus::compress {
+
+namespace {
+
+constexpr std::size_t kBlock = 64;
+// Fixed-point budget: |q| < 2^kQBits after scaling, leaving headroom for the
+// transform's detail coefficients (|d| <= 2 * max|q|) inside int64.
+constexpr int kQBits = 60;
+// Plane-truncation safety: dropping planes below p gives per-coefficient
+// error < 2^p; the inverse lifting amplifies it by at most 1.5x per level
+// over log2(64) = 6 levels (1.5^6 ~ 11.4), so 4 extra planes (16x) below the
+// naive cutoff bound the worst case. Property tests in compress_test.cpp
+// verify the bound across smooth/rough/mixed-exponent signals.
+constexpr int kSafetyPlanes = 4;
+
+enum class BlockMode : std::uint8_t { kAllZero = 0, kNormal = 1, kRaw = 2 };
+
+/// Forward integer Haar lifting (S-transform), in place; exactly invertible.
+/// Output layout is coarse-to-fine: [DC, d@32, d@16x2, ..., d@1x32].
+void forward_transform(std::array<std::int64_t, kBlock>& a) {
+  std::array<std::int64_t, kBlock> tmp;
+  for (std::size_t len = kBlock; len >= 2; len /= 2) {
+    const std::size_t half = len / 2;
+    for (std::size_t i = 0; i < half; ++i) {
+      const std::int64_t x = a[2 * i];
+      const std::int64_t y = a[2 * i + 1];
+      const std::int64_t d = x - y;
+      const std::int64_t s = y + (d >> 1);  // floor((x + y) / 2)
+      tmp[i] = s;
+      tmp[half + i] = d;
+    }
+    std::copy(tmp.begin(), tmp.begin() + static_cast<long>(len), a.begin());
+  }
+}
+
+/// Inverse of forward_transform.
+void inverse_transform(std::array<std::int64_t, kBlock>& a) {
+  std::array<std::int64_t, kBlock> tmp;
+  for (std::size_t len = 2; len <= kBlock; len *= 2) {
+    const std::size_t half = len / 2;
+    for (std::size_t i = 0; i < half; ++i) {
+      const std::int64_t s = a[i];
+      const std::int64_t d = a[half + i];
+      const std::int64_t y = s - (d >> 1);
+      const std::int64_t x = y + d;
+      tmp[2 * i] = x;
+      tmp[2 * i + 1] = y;
+    }
+    std::copy(tmp.begin(), tmp.begin() + static_cast<long>(len), a.begin());
+  }
+}
+
+/// Computes the lowest encoded bit plane for this block. Both sides derive it
+/// from (tolerance, emax) so it is never stored.
+int min_plane(double tolerance, int emax) {
+  if (!(tolerance > 0.0)) return 0;
+  // q = x * 2^(kQBits - emax); tolerance in q units is tol * 2^(kQBits-emax).
+  const double tol_q = std::ldexp(tolerance, kQBits - emax);
+  if (tol_q <= 1.0) return 0;
+  const int p = static_cast<int>(std::floor(std::log2(tol_q))) - kSafetyPlanes;
+  return std::clamp(p, 0, 62);
+}
+
+void encode_block(std::span<const double> vals, double tolerance,
+                  util::ByteWriter& out, util::BitWriter& bits) {
+  CANOPUS_ASSERT(!vals.empty() && vals.size() <= kBlock);
+  double maxabs = 0.0;
+  bool finite = true;
+  for (double v : vals) {
+    if (!std::isfinite(v)) {
+      finite = false;
+      break;
+    }
+    maxabs = std::max(maxabs, std::abs(v));
+  }
+  if (!finite) {
+    out.put(static_cast<std::uint8_t>(BlockMode::kRaw));
+    out.put_bytes(vals.data(), vals.size() * sizeof(double));
+    return;
+  }
+  if (maxabs == 0.0) {
+    out.put(static_cast<std::uint8_t>(BlockMode::kAllZero));
+    return;
+  }
+  out.put(static_cast<std::uint8_t>(BlockMode::kNormal));
+  const int emax = std::ilogb(maxabs) + 1;  // maxabs < 2^emax
+  out.put(static_cast<std::int16_t>(emax));
+
+  std::array<std::int64_t, kBlock> q{};
+  const double scale = std::ldexp(1.0, kQBits - emax);
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    // Pad a short tail block by repeating the last value (keeps it smooth).
+    const double v = i < vals.size() ? vals[i] : vals.back();
+    q[i] = std::llround(v * scale);
+  }
+  forward_transform(q);
+
+  // Sign-magnitude coding: bit planes carry |q|; the sign is emitted once,
+  // right after a coefficient's first 1 bit. (Plain zigzag would put the sign
+  // in the lowest bit, which plane truncation destroys.)
+  std::array<std::uint64_t, kBlock> u{};
+  std::uint64_t any = 0;
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    u[i] = static_cast<std::uint64_t>(q[i] < 0 ? -q[i] : q[i]);
+    any |= u[i];
+  }
+  const int top_plane = any ? 63 - std::countl_zero(any) : 0;
+  const int pmin = min_plane(tolerance, emax);
+  out.put(static_cast<std::int8_t>(top_plane));
+
+  std::array<bool, kBlock> sig{};
+  auto emit_coeff_bit = [&](std::size_t i, int p) {
+    const bool b = (u[i] >> p) & 1u;
+    bits.write_bit(b);
+    if (b && !sig[i]) {
+      bits.write_bit(q[i] < 0);
+      sig[i] = true;
+    }
+    return b;
+  };
+
+  // Embedded coding, MSB plane first. `prefix` is the number of leading
+  // coefficients already inside the coded region; it only grows. Per plane we
+  // emit bits for the prefix, then group-test the remainder.
+  std::size_t prefix = 0;
+  for (int p = top_plane; p >= pmin; --p) {
+    for (std::size_t i = 0; i < prefix; ++i) emit_coeff_bit(i, p);
+    std::size_t i = prefix;
+    while (i < kBlock) {
+      bool has = false;
+      for (std::size_t j = i; j < kBlock; ++j) {
+        if ((u[j] >> p) & 1u) {
+          has = true;
+          break;
+        }
+      }
+      bits.write_bit(has);
+      if (!has) break;
+      // Emit bits up to and including the next set one; prefix grows past it.
+      while (!emit_coeff_bit(i++, p)) {
+      }
+      prefix = i;
+    }
+  }
+}
+
+void decode_block(std::size_t n, double tolerance, util::ByteReader& in,
+                  util::BitReader& bits, std::vector<double>& out) {
+  const auto mode = static_cast<BlockMode>(in.get<std::uint8_t>());
+  if (mode == BlockMode::kRaw) {
+    auto raw = in.get_bytes(n * sizeof(double));
+    const std::size_t base = out.size();
+    out.resize(base + n);
+    std::memcpy(out.data() + base, raw.data(), raw.size());
+    return;
+  }
+  if (mode == BlockMode::kAllZero) {
+    out.insert(out.end(), n, 0.0);
+    return;
+  }
+  CANOPUS_CHECK(mode == BlockMode::kNormal, "zfp stream corrupt (mode)");
+  const int emax = in.get<std::int16_t>();
+  const int top_plane = in.get<std::int8_t>();
+  CANOPUS_CHECK(top_plane >= 0 && top_plane <= 63, "zfp stream corrupt (plane)");
+  const int pmin = min_plane(tolerance, emax);
+
+  std::array<std::uint64_t, kBlock> u{};
+  std::array<bool, kBlock> neg{};
+  std::array<bool, kBlock> sig{};
+  auto read_coeff_bit = [&](std::size_t i, int p) {
+    const bool b = bits.read_bit();
+    if (b) {
+      u[i] |= std::uint64_t{1} << p;
+      if (!sig[i]) {
+        neg[i] = bits.read_bit();
+        sig[i] = true;
+      }
+    }
+    return b;
+  };
+
+  std::size_t prefix = 0;
+  for (int p = top_plane; p >= pmin; --p) {
+    for (std::size_t i = 0; i < prefix; ++i) read_coeff_bit(i, p);
+    std::size_t i = prefix;
+    while (i < kBlock) {
+      if (!bits.read_bit()) break;
+      for (;;) {
+        CANOPUS_CHECK(i < kBlock, "zfp stream corrupt (prefix overrun)");
+        if (read_coeff_bit(i++, p)) break;
+      }
+      prefix = i;
+    }
+  }
+
+  std::array<std::int64_t, kBlock> q{};
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    const auto mag = static_cast<std::int64_t>(u[i]);
+    q[i] = neg[i] ? -mag : mag;
+  }
+  inverse_transform(q);
+  const double inv_scale = std::ldexp(1.0, emax - kQBits);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<double>(q[i]) * inv_scale);
+  }
+}
+
+}  // namespace
+
+util::Bytes zfp_encode(std::span<const double> values, double error_bound) {
+  util::ByteWriter header;
+  header.put_varint(values.size());
+  header.put(error_bound);
+
+  util::ByteWriter block_meta;
+  util::BitWriter bits;
+  for (std::size_t off = 0; off < values.size(); off += kBlock) {
+    const std::size_t n = std::min(kBlock, values.size() - off);
+    encode_block(values.subspan(off, n), error_bound, block_meta, bits);
+  }
+  header.put_vector(block_meta.bytes());
+  header.put_vector(bits.finish());
+  return header.take();
+}
+
+std::vector<double> zfp_decode(util::BytesView bytes) {
+  util::ByteReader in(bytes);
+  const auto count = in.get_varint();
+  const double error_bound = in.get<double>();
+  const auto block_meta = in.get_vector<std::byte>();
+  const auto payload = in.get_vector<std::byte>();
+
+  // Every block contributed at least its mode byte to the metadata stream.
+  CANOPUS_CHECK((count + kBlock - 1) / kBlock <= block_meta.size(),
+                "zfp stream corrupt (count)");
+  util::ByteReader meta(block_meta);
+  util::BitReader bits(payload);
+  std::vector<double> out;
+  out.reserve(count);
+  for (std::size_t off = 0; off < count; off += kBlock) {
+    const std::size_t n = std::min(kBlock, static_cast<std::size_t>(count) - off);
+    decode_block(n, error_bound, meta, bits, out);
+  }
+  return out;
+}
+
+}  // namespace canopus::compress

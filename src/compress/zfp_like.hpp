@@ -1,0 +1,28 @@
+#pragma once
+// ZFP-style fixed-accuracy transform codec (Lindstrom, TVCG 2014 lineage),
+// re-implemented from scratch for 1-D value streams.
+//
+// Values are processed in blocks of 64. Each block is aligned to a common
+// exponent and scaled to 64-bit fixed point, decorrelated with an integer
+// Haar lifting transform (coarse-to-fine coefficient layout), mapped to
+// unsigned magnitudes via zigzag, and entropy-coded MSB-plane-first with
+// zfp's prefix group-testing scheme. Bit planes below the requested accuracy
+// are truncated — that single knob trades size for error, and smoother input
+// (e.g. Canopus deltas) concentrates energy in fewer coefficients, which is
+// exactly the pre-conditioning effect Fig. 5 of the paper measures.
+//
+// An error bound <= 0 keeps every plane: reconstruction is then exact up to
+// the fixed-point quantization (relative ~1e-17), but not bit-identical, so
+// the codec always reports itself lossy.
+
+#include <span>
+#include <vector>
+
+#include "util/byte_buffer.hpp"
+
+namespace canopus::compress {
+
+util::Bytes zfp_encode(std::span<const double> values, double error_bound);
+std::vector<double> zfp_decode(util::BytesView bytes);
+
+}  // namespace canopus::compress

@@ -1,0 +1,74 @@
+#include "core/byte_split.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace canopus::core {
+
+ByteSplit byte_split(std::span<const double> values,
+                     std::span<const std::uint8_t> group_bytes) {
+  const auto total = std::accumulate(group_bytes.begin(), group_bytes.end(), 0);
+  CANOPUS_CHECK(total == 8, "byte_split: group widths must sum to 8");
+  for (auto b : group_bytes) {
+    CANOPUS_CHECK(b >= 1, "byte_split: empty group");
+  }
+
+  ByteSplit out;
+  out.count = values.size();
+  out.group_bytes.assign(group_bytes.begin(), group_bytes.end());
+  out.planes.resize(group_bytes.size());
+
+  // Byte significance: index 0 = most significant byte of the double
+  // (little-endian in memory, so memory byte 7).
+  std::size_t sig_offset = 0;
+  for (std::size_t g = 0; g < group_bytes.size(); ++g) {
+    auto& plane = out.planes[g];
+    plane.resize(values.size() * group_bytes[g]);
+    for (unsigned b = 0; b < group_bytes[g]; ++b) {
+      const unsigned mem_byte = 7 - static_cast<unsigned>(sig_offset + b);
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        std::uint64_t bits;
+        std::memcpy(&bits, &values[i], sizeof(bits));
+        plane[b * values.size() + i] =
+            static_cast<std::byte>((bits >> (8 * mem_byte)) & 0xFF);
+      }
+    }
+    sig_offset += group_bytes[g];
+  }
+  return out;
+}
+
+std::vector<double> byte_merge(const ByteSplit& split, std::size_t groups_used) {
+  CANOPUS_CHECK(groups_used >= 1 && groups_used <= split.group_count(),
+                "byte_merge: invalid group count");
+  std::vector<std::uint64_t> bits(split.count, 0);
+  std::size_t sig_offset = 0;
+  for (std::size_t g = 0; g < groups_used; ++g) {
+    const auto& plane = split.planes[g];
+    CANOPUS_CHECK(plane.size() == split.count * split.group_bytes[g],
+                  "byte_merge: plane size mismatch");
+    for (unsigned b = 0; b < split.group_bytes[g]; ++b) {
+      const unsigned mem_byte = 7 - static_cast<unsigned>(sig_offset + b);
+      for (std::size_t i = 0; i < split.count; ++i) {
+        bits[i] |= static_cast<std::uint64_t>(plane[b * split.count + i])
+                   << (8 * mem_byte);
+      }
+    }
+    sig_offset += split.group_bytes[g];
+  }
+  std::vector<double> out(split.count);
+  std::memcpy(out.data(), bits.data(), out.size() * sizeof(double));
+  return out;
+}
+
+double byte_split_relative_error(std::size_t prefix_bytes) {
+  CANOPUS_ASSERT(prefix_bytes >= 2 && prefix_bytes <= 8);
+  if (prefix_bytes == 8) return 0.0;
+  // Kept mantissa bits after sign (1) + exponent (11): 8*prefix - 12.
+  return std::ldexp(1.0, -static_cast<int>(8 * prefix_bytes - 12));
+}
+
+}  // namespace canopus::core

@@ -1,0 +1,47 @@
+#pragma once
+// Byte-splitting refactoring — the second reduction scheme Section III-C
+// names (citing the ExaCution work [19]) alongside mesh decimation.
+//
+// Each IEEE-754 double is transposed into byte planes ordered by
+// significance: group 0 carries the sign/exponent/top-mantissa bytes (the
+// base), later groups append mantissa bytes (the deltas). Reading the first
+// k groups reconstructs every value with the remaining mantissa bytes
+// zeroed, i.e. a truncation whose relative error is bounded by
+// 2^-(8*bytes_read - 12) per value. Unlike mesh decimation the vertex count
+// never changes — accuracy, not resolution, is progressive — and the planes
+// are highly compressible because exponent bytes repeat across smooth data.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/byte_buffer.hpp"
+
+namespace canopus::core {
+
+/// The byte-plane groups of one variable.
+struct ByteSplit {
+  /// planes[g] holds group_bytes[g] bytes per value, value-major transposed
+  /// (all values' first byte of the group, then the second byte, ...), which
+  /// clusters similar bytes for the downstream lossless codec.
+  std::vector<util::Bytes> planes;
+  std::vector<std::uint8_t> group_bytes;  // bytes per value in each group
+  std::size_t count = 0;                  // number of values
+
+  std::size_t group_count() const { return planes.size(); }
+};
+
+/// Splits values into byte-significance groups. `group_bytes` must sum to 8;
+/// e.g. {2, 2, 4} gives a 2-byte base plus two refinement groups.
+ByteSplit byte_split(std::span<const double> values,
+                     std::span<const std::uint8_t> group_bytes);
+
+/// Reconstructs from the first `groups_used` groups (>= 1); missing mantissa
+/// bytes read as zero.
+std::vector<double> byte_merge(const ByteSplit& split, std::size_t groups_used);
+
+/// Worst-case relative truncation error when only `prefix_bytes` of the 8
+/// are kept: 2^-(8*prefix_bytes - 12) (12 = sign + exponent bits + 1).
+double byte_split_relative_error(std::size_t prefix_bytes);
+
+}  // namespace canopus::core

@@ -1,0 +1,25 @@
+#pragma once
+// Umbrella header: the public Canopus API.
+//
+// Typical write side:
+//
+//   storage::StorageHierarchy tiers({storage::tmpfs_spec(...),
+//                                    storage::lustre_spec(...)});
+//   core::RefactorConfig config;            // levels, codec, error bound
+//   core::refactor_and_write(tiers, "run.bp", "dpot", mesh, values, config);
+//
+// Typical read side:
+//
+//   core::ProgressiveReader reader(tiers, "run.bp", "dpot");
+//   analyze(reader.values(), reader.current_mesh());   // base accuracy
+//   reader.refine();                                   // one level better
+//   reader.refine_to(0);                               // full accuracy
+
+#include "core/byte_split.hpp"
+#include "core/campaign.hpp"
+#include "core/delta.hpp"
+#include "core/geometry_cache.hpp"
+#include "core/progressive_reader.hpp"
+#include "core/refactorer.hpp"
+#include "core/transport.hpp"
+#include "core/types.hpp"

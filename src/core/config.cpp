@@ -1,0 +1,182 @@
+#include "core/config.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/xml.hpp"
+
+namespace canopus::core {
+
+namespace {
+
+/// Splits "12.5MiB" into (12.5, "MiB").
+std::pair<double, std::string> split_number_unit(const std::string& text) {
+  CANOPUS_CHECK(!text.empty(), "empty quantity");
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  CANOPUS_CHECK(end != text.c_str(), "quantity has no number: " + text);
+  std::string unit(end);
+  while (!unit.empty() && std::isspace(static_cast<unsigned char>(unit.front()))) {
+    unit.erase(unit.begin());
+  }
+  return {value, unit};
+}
+
+double size_unit_factor(const std::string& unit) {
+  if (unit.empty() || unit == "B") return 1.0;
+  if (unit == "KiB") return 1024.0;
+  if (unit == "MiB") return 1024.0 * 1024.0;
+  if (unit == "GiB") return 1024.0 * 1024.0 * 1024.0;
+  if (unit == "TiB") return 1024.0 * 1024.0 * 1024.0 * 1024.0;
+  if (unit == "KB") return 1e3;
+  if (unit == "MB") return 1e6;
+  if (unit == "GB") return 1e9;
+  if (unit == "TB") return 1e12;
+  throw Error("unknown size unit: " + unit);
+}
+
+storage::TierSpec preset_spec(const std::string& preset, std::size_t capacity) {
+  if (preset == "tmpfs") return storage::tmpfs_spec(capacity);
+  if (preset == "nvram") return storage::nvram_spec(capacity);
+  if (preset == "ssd") return storage::ssd_spec(capacity);
+  if (preset == "burst-buffer") return storage::burst_buffer_spec(capacity);
+  if (preset == "lustre") return storage::lustre_spec(capacity);
+  if (preset == "campaign") return storage::campaign_spec(capacity);
+  throw Error("unknown tier preset: " + preset);
+}
+
+mesh::EdgePriority parse_priority(const std::string& name) {
+  if (name == "shortest") return mesh::EdgePriority::kShortestFirst;
+  if (name == "random") return mesh::EdgePriority::kRandom;
+  if (name == "gradient") return mesh::EdgePriority::kGradientWeighted;
+  throw Error("unknown edge priority: " + name);
+}
+
+bool parse_bool(const std::string& text) {
+  if (text == "true" || text == "1" || text == "yes") return true;
+  if (text == "false" || text == "0" || text == "no") return false;
+  throw Error("not a boolean: " + text);
+}
+
+}  // namespace
+
+std::size_t parse_size(const std::string& text) {
+  const auto [value, unit] = split_number_unit(text);
+  CANOPUS_CHECK(value >= 0.0, "negative size: " + text);
+  return static_cast<std::size_t>(value * size_unit_factor(unit));
+}
+
+double parse_rate(const std::string& text) {
+  const auto [value, unit] = split_number_unit(text);
+  CANOPUS_CHECK(value > 0.0, "rate must be positive: " + text);
+  CANOPUS_CHECK(unit.size() > 2 && unit.substr(unit.size() - 2) == "/s",
+                "rate must end in /s: " + text);
+  return value * size_unit_factor(unit.substr(0, unit.size() - 2));
+}
+
+double parse_duration(const std::string& text) {
+  const auto [value, unit] = split_number_unit(text);
+  CANOPUS_CHECK(value >= 0.0, "negative duration: " + text);
+  if (unit == "s") return value;
+  if (unit == "ms") return value * 1e-3;
+  if (unit == "us") return value * 1e-6;
+  if (unit == "ns") return value * 1e-9;
+  throw Error("unknown duration unit: " + unit);
+}
+
+RuntimeConfig load_config(const std::string& xml_text) {
+  const auto root = util::parse_xml(xml_text);
+  CANOPUS_CHECK(root->name == "canopus-config",
+                "root element must be <canopus-config>, got <" + root->name + ">");
+  RuntimeConfig config;
+
+  const auto* storage_node = root->child("storage");
+  CANOPUS_CHECK(storage_node != nullptr, "missing <storage> section");
+  {
+    const auto policy = storage_node->attr("policy", "fastest-fit");
+    if (policy == "fastest-fit") {
+      config.policy = storage::PlacementPolicy::kFastestFit;
+    } else if (policy == "slowest-only") {
+      config.policy = storage::PlacementPolicy::kSlowestOnly;
+    } else if (policy == "round-robin") {
+      config.policy = storage::PlacementPolicy::kRoundRobin;
+    } else {
+      throw Error("unknown placement policy: " + policy);
+    }
+  }
+  for (const auto* tier : storage_node->children_named("tier")) {
+    CANOPUS_CHECK(tier->has_attr("capacity"),
+                  "<tier> needs a capacity attribute");
+    const auto capacity = parse_size(tier->attr("capacity"));
+    storage::TierSpec spec;
+    if (tier->has_attr("preset")) {
+      spec = preset_spec(tier->attr("preset"), capacity);
+    } else {
+      CANOPUS_CHECK(tier->has_attr("name"), "<tier> needs a preset or a name");
+      spec.name = tier->attr("name");
+      spec.capacity_bytes = capacity;
+    }
+    if (tier->has_attr("name")) spec.name = tier->attr("name");
+    if (tier->has_attr("read-bw")) spec.read_bandwidth = parse_rate(tier->attr("read-bw"));
+    if (tier->has_attr("write-bw")) spec.write_bandwidth = parse_rate(tier->attr("write-bw"));
+    if (tier->has_attr("read-latency")) {
+      spec.read_latency = parse_duration(tier->attr("read-latency"));
+    }
+    if (tier->has_attr("write-latency")) {
+      spec.write_latency = parse_duration(tier->attr("write-latency"));
+    }
+    if (tier->has_attr("backend")) {
+      const auto backend = tier->attr("backend");
+      if (backend == "memory") {
+        spec.backend = storage::Backend::kMemory;
+      } else if (backend == "file") {
+        spec.backend = storage::Backend::kFile;
+        spec.root_dir = tier->attr("root");
+        CANOPUS_CHECK(!spec.root_dir.empty(), "file tier needs root attribute");
+      } else {
+        throw Error("unknown tier backend: " + backend);
+      }
+    }
+    config.tiers.push_back(std::move(spec));
+  }
+  CANOPUS_CHECK(!config.tiers.empty(), "<storage> lists no tiers");
+
+  if (const auto* refactor = root->child("refactor")) {
+    auto& rc = config.refactor;
+    if (refactor->has_attr("levels")) {
+      rc.levels = static_cast<std::size_t>(std::stoul(refactor->attr("levels")));
+      CANOPUS_CHECK(rc.levels >= 1, "levels must be >= 1");
+    }
+    if (refactor->has_attr("step")) {
+      rc.step = std::stod(refactor->attr("step"));
+      CANOPUS_CHECK(rc.step >= 1.0, "step must be >= 1");
+    }
+    if (refactor->has_attr("codec")) rc.codec = refactor->attr("codec");
+    if (refactor->has_attr("error-bound")) {
+      rc.error_bound = std::stod(refactor->attr("error-bound"));
+    }
+    if (refactor->has_attr("estimate")) {
+      rc.estimate = estimate_mode_from_string(refactor->attr("estimate"));
+    }
+    if (refactor->has_attr("priority")) {
+      rc.decimate.priority = parse_priority(refactor->attr("priority"));
+    }
+    if (refactor->has_attr("tiered-placement")) {
+      rc.tiered_placement = parse_bool(refactor->attr("tiered-placement"));
+    }
+  }
+  return config;
+}
+
+RuntimeConfig load_config_file(const std::string& path) {
+  std::ifstream f(path);
+  CANOPUS_CHECK(f.good(), "cannot open config file: " + path);
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return load_config(buf.str());
+}
+
+}  // namespace canopus::core

@@ -1,0 +1,81 @@
+#include "core/delta.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/thread_pool.hpp"
+
+namespace canopus::core {
+
+VertexMapping build_mapping(const mesh::TriMesh& fine, const mesh::TriMesh& coarse) {
+  const mesh::PointLocator locator(coarse);
+  VertexMapping m;
+  m.triangle.resize(fine.vertex_count());
+  m.weights.resize(fine.vertex_count());
+  // Point location per vertex is independent; fan out on the global pool
+  // (this is the dominant cost of the refactoring write path).
+  util::ThreadPool::global().parallel_for(
+      0, fine.vertex_count(), [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t v = lo; v < hi; ++v) {
+          const auto loc = locator.locate(fine.vertex(v));
+          m.triangle[v] = loc.triangle;
+          m.weights[v] = loc.weights;
+        }
+      });
+  // Quantize before anyone computes deltas against these weights, so the
+  // persisted mapping reproduces the in-memory one exactly.
+  m.quantize_weights();
+  return m;
+}
+
+double estimate_value(const mesh::TriMesh& coarse, const mesh::Field& coarse_values,
+                      const VertexMapping& mapping, std::size_t fine_vertex,
+                      EstimateMode mode) {
+  const auto& tri = coarse.triangle(mapping.triangle[fine_vertex]);
+  const double vi = coarse_values[tri.v[0]];
+  const double vj = coarse_values[tri.v[1]];
+  const double vk = coarse_values[tri.v[2]];
+  const auto& w = mapping.weights[fine_vertex];
+  switch (mode) {
+    case EstimateMode::kUniformThirds:
+      return (vi + vj + vk) / 3.0;
+    case EstimateMode::kBarycentric:
+      return w[0] * vi + w[1] * vj + w[2] * vk;
+    case EstimateMode::kNearestVertex: {
+      const auto best = static_cast<std::size_t>(
+          std::max_element(w.begin(), w.end()) - w.begin());
+      return coarse_values[tri.v[best]];
+    }
+  }
+  CANOPUS_UNREACHABLE("unknown estimate mode");
+}
+
+mesh::Field compute_delta(const mesh::TriMesh& coarse, const mesh::Field& coarse_values,
+                          const mesh::Field& fine_values, const VertexMapping& mapping,
+                          EstimateMode mode) {
+  CANOPUS_CHECK(fine_values.size() == mapping.size(),
+                "delta: fine field / mapping size mismatch");
+  CANOPUS_CHECK(coarse_values.size() == coarse.vertex_count(),
+                "delta: coarse field size mismatch");
+  mesh::Field delta(fine_values.size());
+  for (std::size_t x = 0; x < fine_values.size(); ++x) {
+    delta[x] = fine_values[x] - estimate_value(coarse, coarse_values, mapping, x, mode);
+  }
+  return delta;
+}
+
+mesh::Field restore_level(const mesh::TriMesh& coarse, const mesh::Field& coarse_values,
+                          const mesh::Field& delta, const VertexMapping& mapping,
+                          EstimateMode mode) {
+  CANOPUS_CHECK(delta.size() == mapping.size(),
+                "restore: delta / mapping size mismatch");
+  CANOPUS_CHECK(coarse_values.size() == coarse.vertex_count(),
+                "restore: coarse field size mismatch");
+  mesh::Field fine(delta.size());
+  for (std::size_t x = 0; x < delta.size(); ++x) {
+    fine[x] = delta[x] + estimate_value(coarse, coarse_values, mapping, x, mode);
+  }
+  return fine;
+}
+
+}  // namespace canopus::core

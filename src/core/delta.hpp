@@ -1,0 +1,36 @@
+#pragma once
+// Delta calculation and restoration — Algorithms 2 and 3 of the paper.
+//
+//   delta^{l-(l+1)}_x = L^l_x - Estimate(L^{l+1}_i, L^{l+1}_j, L^{l+1}_k)
+//
+// where (i, j, k) is the coarse triangle containing fine vertex x and
+// Estimate is an affine combination of its corner values. Restoration is the
+// exact inverse, so base + deltas reproduces the fine level up to codec loss.
+
+#include "core/types.hpp"
+#include "mesh/point_locator.hpp"
+#include "mesh/tri_mesh.hpp"
+
+namespace canopus::core {
+
+/// Builds the fine-vertex -> coarse-triangle mapping by point location in the
+/// coarse mesh (the index Canopus persists to avoid the O(n^2) brute force).
+VertexMapping build_mapping(const mesh::TriMesh& fine, const mesh::TriMesh& coarse);
+
+/// Estimate(.) for one fine vertex under the given mode.
+double estimate_value(const mesh::TriMesh& coarse, const mesh::Field& coarse_values,
+                      const VertexMapping& mapping, std::size_t fine_vertex,
+                      EstimateMode mode);
+
+/// Algorithm 2: delta between a fine level and its estimate from the coarse
+/// level. `fine_values` has one entry per mapping entry.
+mesh::Field compute_delta(const mesh::TriMesh& coarse, const mesh::Field& coarse_values,
+                          const mesh::Field& fine_values, const VertexMapping& mapping,
+                          EstimateMode mode);
+
+/// Algorithm 3: restore the fine level from the coarse level plus a delta.
+mesh::Field restore_level(const mesh::TriMesh& coarse, const mesh::Field& coarse_values,
+                          const mesh::Field& delta, const VertexMapping& mapping,
+                          EstimateMode mode);
+
+}  // namespace canopus::core

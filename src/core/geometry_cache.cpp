@@ -1,0 +1,38 @@
+#include "core/geometry_cache.hpp"
+
+#include "adios/bp.hpp"
+#include "util/assert.hpp"
+
+namespace canopus::core {
+
+GeometryCache GeometryCache::load(storage::StorageHierarchy& hierarchy,
+                                  const std::string& path, const std::string& var,
+                                  double* io_seconds) {
+  adios::BpReader reader(hierarchy, path);
+  const auto levels_attr = reader.attribute("levels");
+  CANOPUS_CHECK(levels_attr.has_value(), "container missing 'levels' attribute");
+  const auto levels = static_cast<std::size_t>(std::stoul(*levels_attr));
+
+  GeometryCache cache;
+  double io = 0.0;
+  for (std::size_t l = 0; l < levels; ++l) {
+    adios::ReadTiming t;
+    const auto raw = reader.read_opaque(var, adios::BlockKind::kMesh,
+                                        static_cast<std::uint32_t>(l), &t);
+    io += t.io_sim_seconds;
+    util::ByteReader br(raw);
+    cache.meshes.push_back(mesh::TriMesh::deserialize(br));
+  }
+  for (std::size_t l = 0; l + 1 < levels; ++l) {
+    adios::ReadTiming t;
+    const auto raw = reader.read_opaque(var, adios::BlockKind::kMapping,
+                                        static_cast<std::uint32_t>(l), &t);
+    io += t.io_sim_seconds;
+    util::ByteReader br(raw);
+    cache.mappings.push_back(VertexMapping::deserialize(br));
+  }
+  if (io_seconds) *io_seconds = io;
+  return cache;
+}
+
+}  // namespace canopus::core

@@ -1,0 +1,35 @@
+#pragma once
+// One-time geometry loading for campaign-style analytics.
+//
+// Simulation meshes are static across a run: XGC1 writes thousands of dpot
+// timesteps over the same mesh. The per-level meshes and restoration
+// mappings are therefore campaign-lifetime artifacts — read and deserialized
+// once, then shared by every ProgressiveReader that analyzes a timestep.
+// Passing a GeometryCache to ProgressiveReader removes geometry I/O from the
+// per-read critical path, which is the regime the paper's Figs. 9-11 measure.
+
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "mesh/tri_mesh.hpp"
+#include "storage/hierarchy.hpp"
+
+namespace canopus::core {
+
+struct GeometryCache {
+  /// meshes[l] is G^l; size = level count.
+  std::vector<mesh::TriMesh> meshes;
+  /// mappings[l] restores level l from level l+1; size = level count - 1.
+  std::vector<VertexMapping> mappings;
+
+  std::size_t level_count() const { return meshes.size(); }
+
+  /// Reads every mesh and mapping block of `var` from the container.
+  /// `io_seconds`, when given, receives the simulated one-time read cost.
+  static GeometryCache load(storage::StorageHierarchy& hierarchy,
+                            const std::string& path, const std::string& var,
+                            double* io_seconds = nullptr);
+};
+
+}  // namespace canopus::core

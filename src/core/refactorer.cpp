@@ -1,0 +1,214 @@
+#include "core/refactorer.hpp"
+
+#include <optional>
+
+#include "compress/codec.hpp"
+#include "core/delta.hpp"
+#include "util/assert.hpp"
+
+namespace canopus::core {
+
+namespace {
+
+/// Paper Fig. 1 layout: base on the fastest tier, deltas progressively lower
+/// (finest delta on the slowest). Level l's product goes `N-1-l` tiers down,
+/// clamped to the stack depth; the hierarchy still bypasses full tiers.
+std::optional<std::uint32_t> tier_hint_for(const RefactorConfig& config,
+                                           const storage::StorageHierarchy& hierarchy,
+                                           std::uint32_t level, std::size_t nbytes) {
+  if (!config.tiered_placement) return std::nullopt;
+  const std::size_t want =
+      std::min(hierarchy.tier_count() - 1,
+               static_cast<std::size_t>(config.levels - 1 - level));
+  // Respect the hint only when that tier has room; otherwise fall back to the
+  // generic bypass placement.
+  if (hierarchy.tier(want).fits(nbytes)) return static_cast<std::uint32_t>(want);
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::size_t RefactorReport::total_raw_bytes() const {
+  std::size_t n = 0;
+  for (const auto& p : products) n += p.raw_bytes;
+  return n;
+}
+
+std::size_t RefactorReport::total_stored_bytes() const {
+  std::size_t n = 0;
+  for (const auto& p : products) n += p.stored_bytes;
+  return n;
+}
+
+RefactorReport refactor_and_write(storage::StorageHierarchy& hierarchy,
+                                  const std::string& path, const std::string& var,
+                                  const mesh::TriMesh& mesh,
+                                  const mesh::Field& values,
+                                  const RefactorConfig& config) {
+  CANOPUS_CHECK(config.levels >= 1, "refactor needs at least one level");
+  RefactorReport report;
+
+  // --- Decimation: build the level hierarchy L^0 .. L^{N-1}. -------------
+  mesh::Cascade cascade;
+  report.phases.time("decimation", [&] {
+    mesh::CascadeOptions copt;
+    copt.levels = config.levels;
+    copt.step = config.step;
+    copt.decimate = config.decimate;
+    cascade = mesh::build_cascade(mesh, values, copt);
+  });
+  for (const auto& level : cascade.levels) {
+    report.level_vertices.push_back(level.mesh.vertex_count());
+  }
+
+  // --- Delta calculation + compression + placement. ----------------------
+  adios::BpWriter writer(hierarchy, path);
+  writer.set_attribute("levels", std::to_string(config.levels));
+  writer.set_attribute("codec", config.codec);
+  writer.set_attribute("estimate", to_string(config.estimate));
+  writer.set_attribute("error_bound", std::to_string(config.error_bound));
+
+  const auto N = config.levels;
+  const auto base_level = static_cast<std::uint32_t>(N - 1);
+
+  // Base dataset L^{N-1}.
+  {
+    const auto& base = cascade.levels[N - 1];
+    const auto hint = tier_hint_for(config, hierarchy, base_level,
+                                    base.values.size() * sizeof(double));
+    const auto t = writer.write_doubles(var, adios::BlockKind::kBase, base_level,
+                                        base.values, config.codec,
+                                        config.error_bound, hint);
+    report.phases.add("delta+compress", t.compress_seconds);
+    report.phases.add("io", t.io_sim_seconds);
+    report.products.push_back({"base", base_level, base.values.size() * sizeof(double),
+                               t.bytes_written, t.tier});
+  }
+
+  // Deltas, coarse to fine: delta^{l-(l+1)} for l = N-2 .. 0.
+  for (std::size_t l = N - 1; l-- > 0;) {
+    const auto& fine = cascade.levels[l];
+    const auto& coarse = cascade.levels[l + 1];
+
+    VertexMapping mapping;
+    mesh::Field delta;
+    report.phases.time("delta+compress", [&] {
+      mapping = build_mapping(fine.mesh, coarse.mesh);
+      delta = compute_delta(coarse.mesh, coarse.values, fine.values, mapping,
+                            config.estimate);
+    });
+
+    const auto level = static_cast<std::uint32_t>(l);
+    const auto hint =
+        tier_hint_for(config, hierarchy, level, delta.size() * sizeof(double));
+    // Split the delta into independently decodable chunks with spatial
+    // extents so readers can fetch only a region of interest. Chunked deltas
+    // are permuted into the deterministic Morton ordering of the fine mesh
+    // (spatial_order), which both sides recompute from geometry: chunks get
+    // tight bounding boxes regardless of the mesh's native vertex numbering,
+    // and spatial coherence also helps the codec.
+    const std::uint32_t nchunks =
+        std::max<std::uint32_t>(1, std::min<std::uint32_t>(
+                                       config.delta_chunks,
+                                       static_cast<std::uint32_t>(delta.size())));
+    ChunkIndex index;
+    std::size_t delta_stored = 0;
+    std::uint32_t delta_tier = 0;
+    mesh::Field ordered;
+    std::vector<mesh::VertexId> order;
+    if (nchunks > 1) {
+      order = mesh::spatial_order(fine.mesh);
+      ordered.resize(delta.size());
+      for (std::size_t pos = 0; pos < order.size(); ++pos) {
+        ordered[pos] = delta[order[pos]];
+      }
+    }
+    const mesh::Field& payload = nchunks > 1 ? ordered : delta;
+    for (std::uint32_t c = 0; c < nchunks; ++c) {
+      const std::size_t start = payload.size() * c / nchunks;
+      const std::size_t stop = payload.size() * (c + 1) / nchunks;
+      if (nchunks > 1) {
+        ChunkIndex::Range range;
+        range.start = start;
+        range.count = stop - start;
+        range.bbox.lo = range.bbox.hi = fine.mesh.vertex(order[start]);
+        for (std::size_t pos = start; pos < stop; ++pos) {
+          range.bbox.expand(fine.mesh.vertex(order[pos]));
+        }
+        index.chunks.push_back(range);
+      }
+      const auto t = writer.write_doubles_chunk(
+          var, adios::BlockKind::kDelta, level, c, nchunks,
+          std::span<const double>(payload).subspan(start, stop - start),
+          config.codec, config.error_bound, hint);
+      report.phases.add("delta+compress", t.compress_seconds);
+      report.phases.add("io", t.io_sim_seconds);
+      delta_stored += t.bytes_written;
+      delta_tier = t.tier;
+    }
+    if (nchunks > 1) {
+      util::ByteWriter index_bytes;
+      index.serialize(index_bytes);
+      const auto t = writer.write_opaque(var, adios::BlockKind::kChunkIndex,
+                                         level, index_bytes.view(), hint);
+      report.phases.add("io", t.io_sim_seconds);
+    }
+    report.products.push_back({"delta" + std::to_string(l), level,
+                               delta.size() * sizeof(double), delta_stored,
+                               delta_tier});
+
+    // Persist the mapping next to the delta so restoration never re-runs
+    // point location (Section III-E2).
+    util::ByteWriter map_bytes;
+    mapping.serialize(map_bytes);
+    const auto mt = writer.write_opaque(var, adios::BlockKind::kMapping, level,
+                                        map_bytes.view(), hint);
+    report.phases.add("io", mt.io_sim_seconds);
+  }
+
+  // Per-level meshes (geometry travels with the data: a decimated level is a
+  // complete, directly consumable dataset).
+  for (std::size_t l = 0; l < N; ++l) {
+    util::ByteWriter mesh_bytes;
+    cascade.levels[l].mesh.serialize(mesh_bytes);
+    const auto level = static_cast<std::uint32_t>(l);
+    const auto hint =
+        tier_hint_for(config, hierarchy, level, mesh_bytes.size());
+    const auto t = writer.write_opaque(var, adios::BlockKind::kMesh, level,
+                                       mesh_bytes.view(), hint);
+    report.phases.add("io", t.io_sim_seconds);
+  }
+
+  writer.close();
+  return report;
+}
+
+RefactorReport direct_multilevel_sizes(const mesh::TriMesh& mesh,
+                                       const mesh::Field& values,
+                                       const RefactorConfig& config) {
+  RefactorReport report;
+  mesh::Cascade cascade;
+  report.phases.time("decimation", [&] {
+    mesh::CascadeOptions copt;
+    copt.levels = config.levels;
+    copt.step = config.step;
+    copt.decimate = config.decimate;
+    cascade = mesh::build_cascade(mesh, values, copt);
+  });
+  const auto codec = compress::make_codec(config.codec);
+  for (std::size_t l = 0; l < cascade.level_count(); ++l) {
+    const auto& level = cascade.levels[l];
+    report.level_vertices.push_back(level.mesh.vertex_count());
+    util::Bytes payload;
+    report.phases.time("delta+compress", [&] {
+      payload = codec->encode(level.values, config.error_bound);
+    });
+    report.products.push_back({"L" + std::to_string(l),
+                               static_cast<std::uint32_t>(l),
+                               level.values.size() * sizeof(double),
+                               payload.size(), 0});
+  }
+  return report;
+}
+
+}  // namespace canopus::core

@@ -1,0 +1,56 @@
+#pragma once
+// The write side of Canopus: decimate -> delta -> compress -> place.
+//
+// refactor_and_write() runs the full Section III pipeline for one variable on
+// one unstructured triangular mesh and persists every product (base, deltas,
+// per-level meshes, restoration mappings) into a BP container across the
+// storage hierarchy. The returned report carries the paper's Fig. 6b phase
+// breakdown plus per-product sizes for the Fig. 5 comparison.
+
+#include <string>
+#include <vector>
+
+#include "adios/bp.hpp"
+#include "core/types.hpp"
+#include "mesh/cascade.hpp"
+#include "storage/hierarchy.hpp"
+#include "util/timer.hpp"
+
+namespace canopus::core {
+
+/// Size accounting for one stored product.
+struct ProductSize {
+  std::string name;           // "base", "delta0", "delta1", ...
+  std::uint32_t level = 0;
+  std::size_t raw_bytes = 0;
+  std::size_t stored_bytes = 0;
+  std::uint32_t tier = 0;
+};
+
+struct RefactorReport {
+  /// Phase seconds: "decimation", "delta+compress", "io".
+  util::PhaseTimer phases;
+  std::vector<ProductSize> products;
+  /// Vertex counts per level, finest first.
+  std::vector<std::size_t> level_vertices;
+
+  std::size_t total_raw_bytes() const;
+  std::size_t total_stored_bytes() const;
+};
+
+/// Refactors (mesh, values) into `config.levels` accuracy levels and writes
+/// them as variable `var` into the container at `path`. The input (level 0)
+/// itself is not stored — only the base and the deltas, per Section III-C2.
+RefactorReport refactor_and_write(storage::StorageHierarchy& hierarchy,
+                                  const std::string& path, const std::string& var,
+                                  const mesh::TriMesh& mesh,
+                                  const mesh::Field& values,
+                                  const RefactorConfig& config);
+
+/// Baseline for Fig. 5: compress every level directly (no deltas) and report
+/// the same size accounting. Nothing is written to storage.
+RefactorReport direct_multilevel_sizes(const mesh::TriMesh& mesh,
+                                       const mesh::Field& values,
+                                       const RefactorConfig& config);
+
+}  // namespace canopus::core

@@ -1,0 +1,97 @@
+#include "core/types.hpp"
+
+#include "util/assert.hpp"
+
+namespace canopus::core {
+
+std::string to_string(EstimateMode mode) {
+  switch (mode) {
+    case EstimateMode::kUniformThirds: return "uniform";
+    case EstimateMode::kBarycentric: return "barycentric";
+    case EstimateMode::kNearestVertex: return "nearest";
+  }
+  CANOPUS_UNREACHABLE("unknown estimate mode");
+}
+
+EstimateMode estimate_mode_from_string(const std::string& s) {
+  if (s == "uniform") return EstimateMode::kUniformThirds;
+  if (s == "barycentric") return EstimateMode::kBarycentric;
+  if (s == "nearest") return EstimateMode::kNearestVertex;
+  throw Error("unknown estimate mode: " + s);
+}
+
+void VertexMapping::quantize_weights() {
+  for (auto& w : weights) {
+    w[0] = static_cast<double>(static_cast<float>(w[0]));
+    w[1] = static_cast<double>(static_cast<float>(w[1]));
+    w[2] = 1.0 - w[0] - w[1];  // affine constraint (Eq. 3) kept exactly
+  }
+}
+
+void VertexMapping::serialize(util::ByteWriter& out) const {
+  CANOPUS_ASSERT(triangle.size() == weights.size());
+  out.put_varint(triangle.size());
+  for (std::size_t i = 0; i < triangle.size(); ++i) {
+    out.put_varint(triangle[i]);
+    // float32 weights (the mapping is quantized at build time, so this is
+    // exact); the third weight is implied by the affine constraint.
+    out.put(static_cast<float>(weights[i][0]));
+    out.put(static_cast<float>(weights[i][1]));
+  }
+}
+
+VertexMapping VertexMapping::deserialize(util::ByteReader& in) {
+  VertexMapping m;
+  const auto n = in.get_varint();
+  m.triangle.reserve(n);
+  m.weights.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    m.triangle.push_back(static_cast<std::uint32_t>(in.get_varint()));
+    const double w0 = static_cast<double>(in.get<float>());
+    const double w1 = static_cast<double>(in.get<float>());
+    m.weights.push_back({w0, w1, 1.0 - w0 - w1});
+  }
+  return m;
+}
+
+std::vector<std::uint32_t> ChunkIndex::intersecting(const mesh::Aabb& roi) const {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t c = 0; c < chunks.size(); ++c) {
+    const auto& b = chunks[c].bbox;
+    const bool disjoint = b.hi.x < roi.lo.x || b.lo.x > roi.hi.x ||
+                          b.hi.y < roi.lo.y || b.lo.y > roi.hi.y;
+    if (!disjoint) out.push_back(c);
+  }
+  return out;
+}
+
+void ChunkIndex::serialize(util::ByteWriter& out) const {
+  out.put_varint(chunks.size());
+  for (const auto& c : chunks) {
+    out.put_varint(c.start);
+    out.put_varint(c.count);
+    out.put(c.bbox.lo.x);
+    out.put(c.bbox.lo.y);
+    out.put(c.bbox.hi.x);
+    out.put(c.bbox.hi.y);
+  }
+}
+
+ChunkIndex ChunkIndex::deserialize(util::ByteReader& in) {
+  ChunkIndex idx;
+  const auto n = in.get_varint();
+  idx.chunks.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Range r;
+    r.start = in.get_varint();
+    r.count = in.get_varint();
+    r.bbox.lo.x = in.get<double>();
+    r.bbox.lo.y = in.get<double>();
+    r.bbox.hi.x = in.get<double>();
+    r.bbox.hi.y = in.get<double>();
+    idx.chunks.push_back(r);
+  }
+  return idx;
+}
+
+}  // namespace canopus::core

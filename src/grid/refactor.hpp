@@ -1,0 +1,64 @@
+#pragma once
+// Canopus write/read pipeline over the structured-grid data model: the same
+// base-plus-deltas refactoring, compression and tiered placement as the
+// unstructured path, with grid shapes instead of meshes/mappings in the
+// metadata (shapes are tiny and fully determine the geometry, so there is no
+// mapping product at all).
+
+#include <string>
+#include <vector>
+
+#include "adios/bp.hpp"
+#include "core/progressive_reader.hpp"  // core::RetrievalTimings
+#include "core/types.hpp"
+#include "grid/structured.hpp"
+#include "storage/hierarchy.hpp"
+#include "util/timer.hpp"
+
+namespace canopus::grid {
+
+struct GridRefactorReport {
+  util::PhaseTimer phases;  // "decimation", "delta+compress", "io"
+  std::vector<std::size_t> level_points;  // per level, finest first
+  std::size_t raw_bytes = 0;
+  std::size_t stored_bytes = 0;
+};
+
+/// Refactors a structured field into `config.levels` accuracy levels
+/// (config.step is fixed at 2 for grids) and writes base + deltas + shapes.
+GridRefactorReport refactor_and_write_grid(storage::StorageHierarchy& hierarchy,
+                                           const std::string& path,
+                                           const std::string& var,
+                                           const GridShape& shape,
+                                           const GridField& values,
+                                           const core::RefactorConfig& config);
+
+/// Progressive reader for grid variables; mirrors core::ProgressiveReader.
+class GridProgressiveReader {
+ public:
+  GridProgressiveReader(storage::StorageHierarchy& hierarchy,
+                        const std::string& path, std::string var);
+
+  std::size_t level_count() const { return shapes_.size(); }
+  std::uint32_t current_level() const { return current_level_; }
+  bool at_full_accuracy() const { return current_level_ == 0; }
+
+  const GridField& values() const { return values_; }
+  const GridShape& current_shape() const { return shapes_[current_level_]; }
+  double decimation_ratio() const;
+
+  core::RetrievalTimings refine();
+  core::RetrievalTimings refine_to(std::uint32_t level);
+  const core::RetrievalTimings& cumulative() const { return cumulative_; }
+
+ private:
+  storage::StorageHierarchy& hierarchy_;
+  adios::BpReader reader_;
+  std::string var_;
+  std::vector<GridShape> shapes_;  // shapes_[l] = level l, finest first
+  std::uint32_t current_level_ = 0;
+  GridField values_;
+  core::RetrievalTimings cumulative_;
+};
+
+}  // namespace canopus::grid

@@ -1,0 +1,124 @@
+#include "grid/structured.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace canopus::grid {
+
+GridShape GridShape::coarsened() const {
+  GridShape c = *this;
+  c.nx = (nx + 1) / 2;
+  c.ny = (ny + 1) / 2;
+  c.dx = dx * 2.0;
+  c.dy = dy * 2.0;
+  return c;
+}
+
+void GridShape::serialize(util::ByteWriter& out) const {
+  out.put_varint(nx);
+  out.put_varint(ny);
+  out.put(x0);
+  out.put(y0);
+  out.put(dx);
+  out.put(dy);
+}
+
+GridShape GridShape::deserialize(util::ByteReader& in) {
+  GridShape s;
+  s.nx = in.get_varint();
+  s.ny = in.get_varint();
+  s.x0 = in.get<double>();
+  s.y0 = in.get<double>();
+  s.dx = in.get<double>();
+  s.dy = in.get<double>();
+  return s;
+}
+
+GridField coarsen(const GridShape& shape, const GridField& values) {
+  CANOPUS_CHECK(values.size() == shape.point_count(),
+                "grid coarsen: field size mismatch");
+  CANOPUS_CHECK(shape.nx >= 2 || shape.ny >= 2, "grid too small to coarsen");
+  const GridShape c = shape.coarsened();
+  GridField out(c.point_count());
+  for (std::size_t cy = 0; cy < c.ny; ++cy) {
+    for (std::size_t cx = 0; cx < c.nx; ++cx) {
+      double sum = 0.0;
+      int n = 0;
+      for (std::size_t oy = 0; oy < 2; ++oy) {
+        for (std::size_t ox = 0; ox < 2; ++ox) {
+          const std::size_t fx = 2 * cx + ox;
+          const std::size_t fy = 2 * cy + oy;
+          if (fx < shape.nx && fy < shape.ny) {
+            sum += values[fy * shape.nx + fx];
+            ++n;
+          }
+        }
+      }
+      out[cy * c.nx + cx] = sum / static_cast<double>(n);
+    }
+  }
+  return out;
+}
+
+GridField upsample_bilinear(const GridShape& coarse_shape, const GridField& coarse,
+                            const GridShape& fine_shape) {
+  CANOPUS_CHECK(coarse.size() == coarse_shape.point_count(),
+                "grid upsample: field size mismatch");
+  GridField out(fine_shape.point_count());
+  for (std::size_t fy = 0; fy < fine_shape.ny; ++fy) {
+    for (std::size_t fx = 0; fx < fine_shape.nx; ++fx) {
+      // Physical position of the fine point in coarse index space. The
+      // coarse point (cx, cy) averages the fine block anchored at
+      // (2cx, 2cy); its effective center is at fine index 2cx + 0.5, so
+      // subtract that half-cell offset before interpolating.
+      const double u = std::clamp(
+          (static_cast<double>(fx) - 0.5) / 2.0, 0.0,
+          static_cast<double>(coarse_shape.nx - 1));
+      const double v = std::clamp(
+          (static_cast<double>(fy) - 0.5) / 2.0, 0.0,
+          static_cast<double>(coarse_shape.ny - 1));
+      const auto iu = static_cast<std::size_t>(u);
+      const auto iv = static_cast<std::size_t>(v);
+      const std::size_t iu1 = std::min(iu + 1, coarse_shape.nx - 1);
+      const std::size_t iv1 = std::min(iv + 1, coarse_shape.ny - 1);
+      const double au = u - static_cast<double>(iu);
+      const double av = v - static_cast<double>(iv);
+      const double c00 = coarse[iv * coarse_shape.nx + iu];
+      const double c10 = coarse[iv * coarse_shape.nx + iu1];
+      const double c01 = coarse[iv1 * coarse_shape.nx + iu];
+      const double c11 = coarse[iv1 * coarse_shape.nx + iu1];
+      out[fy * fine_shape.nx + fx] =
+          (1 - av) * ((1 - au) * c00 + au * c10) +
+          av * ((1 - au) * c01 + au * c11);
+    }
+  }
+  return out;
+}
+
+GridField compute_grid_delta(const GridShape& fine_shape, const GridField& fine,
+                             const GridShape& coarse_shape,
+                             const GridField& coarse) {
+  CANOPUS_CHECK(fine.size() == fine_shape.point_count(),
+                "grid delta: fine field size mismatch");
+  GridField delta = upsample_bilinear(coarse_shape, coarse, fine_shape);
+  for (std::size_t i = 0; i < delta.size(); ++i) {
+    delta[i] = fine[i] - delta[i];
+  }
+  return delta;
+}
+
+GridField restore_grid_level(const GridShape& fine_shape, const GridField& delta,
+                             const GridShape& coarse_shape,
+                             const GridField& coarse) {
+  CANOPUS_CHECK(delta.size() == fine_shape.point_count(),
+                "grid restore: delta size mismatch");
+  GridField fine = upsample_bilinear(coarse_shape, coarse, fine_shape);
+  for (std::size_t i = 0; i < fine.size(); ++i) {
+    fine[i] += delta[i];
+  }
+  return fine;
+}
+
+}  // namespace canopus::grid

@@ -1,0 +1,59 @@
+#pragma once
+// Structured-grid data model: the second mesh class Section III-C covers
+// ("mesh decimation for both structured and unstructured meshes").
+//
+// A StructuredGrid is a uniform nx x ny point lattice. Decimation is 2x2 box
+// averaging per level (the structured analogue of edge collapse to
+// midpoints), and Estimate(.) is bilinear interpolation of the coarse level
+// at the fine lattice positions — the structured analogue of the barycentric
+// triangle estimate. delta = fine - upsample(coarse) makes restoration exact
+// by construction, mirroring Algorithms 2/3.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/byte_buffer.hpp"
+
+namespace canopus::grid {
+
+struct GridShape {
+  std::size_t nx = 0;  // points per row
+  std::size_t ny = 0;  // rows
+  double x0 = 0.0, y0 = 0.0;  // position of point (0, 0)
+  double dx = 1.0, dy = 1.0;  // point spacing
+
+  std::size_t point_count() const { return nx * ny; }
+  bool operator==(const GridShape&) const = default;
+
+  /// Shape after one 2x coarsening step (ceil halving, spacing doubles).
+  GridShape coarsened() const;
+
+  void serialize(util::ByteWriter& out) const;
+  static GridShape deserialize(util::ByteReader& in);
+};
+
+/// Row-major nx*ny samples.
+using GridField = std::vector<double>;
+
+/// One 2x decimation step: each coarse point averages its (up to) 2x2 fine
+/// block. The structured NewData.
+GridField coarsen(const GridShape& shape, const GridField& values);
+
+/// Bilinear evaluation of the coarse level at every fine lattice point — the
+/// structured Estimate(.) of Eq. 2 (edges clamp).
+GridField upsample_bilinear(const GridShape& coarse_shape, const GridField& coarse,
+                            const GridShape& fine_shape);
+
+/// Algorithm 2, structured: delta = fine - Estimate(coarse).
+GridField compute_grid_delta(const GridShape& fine_shape, const GridField& fine,
+                             const GridShape& coarse_shape,
+                             const GridField& coarse);
+
+/// Algorithm 3, structured: fine = delta + Estimate(coarse). Exact inverse
+/// of compute_grid_delta up to floating-point rounding.
+GridField restore_grid_level(const GridShape& fine_shape, const GridField& delta,
+                             const GridShape& coarse_shape,
+                             const GridField& coarse);
+
+}  // namespace canopus::grid

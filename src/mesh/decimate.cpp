@@ -1,0 +1,303 @@
+#include "mesh/decimate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace canopus::mesh {
+
+namespace {
+
+/// Mutable mesh scratch state for the collapse loop. Vertex slot `i` survives
+/// a collapse of edge (i, j) and is moved to the midpoint; slot `j` dies.
+struct Workspace {
+  std::vector<Vec2> pos;
+  std::vector<double> val;
+  std::vector<bool> vertex_alive;
+  std::vector<std::vector<VertexId>> nbr;        // adjacent alive vertices
+  std::vector<Triangle> tris;
+  std::vector<bool> tri_alive;
+  std::vector<std::vector<TriangleId>> inc;      // incident alive triangles
+  std::vector<std::uint32_t> version;            // bumped on any change at v
+
+  static void list_insert(std::vector<VertexId>& xs, VertexId v) {
+    if (std::find(xs.begin(), xs.end(), v) == xs.end()) xs.push_back(v);
+  }
+  static void list_erase(std::vector<VertexId>& xs, VertexId v) {
+    auto it = std::find(xs.begin(), xs.end(), v);
+    if (it != xs.end()) {
+      *it = xs.back();
+      xs.pop_back();
+    }
+  }
+  static void tri_list_erase(std::vector<TriangleId>& xs, TriangleId t) {
+    auto it = std::find(xs.begin(), xs.end(), t);
+    if (it != xs.end()) {
+      *it = xs.back();
+      xs.pop_back();
+    }
+  }
+};
+
+struct HeapEntry {
+  double priority;
+  VertexId a, b;
+  std::uint32_t va_version, vb_version;
+  // Min-heap via reversed comparison in a max-priority_queue.
+  bool operator<(const HeapEntry& o) const { return priority > o.priority; }
+};
+
+class Decimator {
+ public:
+  Decimator(const TriMesh& mesh, const Field& values, const DecimateOptions& opt)
+      : opt_(opt), rng_(opt.seed) {
+    CANOPUS_CHECK(values.size() == mesh.vertex_count(),
+                  "field size does not match vertex count");
+    CANOPUS_CHECK(opt.ratio >= 1.0, "decimation ratio must be >= 1");
+    ws_.pos = mesh.vertices();
+    ws_.val = values;
+    ws_.vertex_alive.assign(ws_.pos.size(), true);
+    ws_.tris = mesh.triangles();
+    ws_.tri_alive.assign(ws_.tris.size(), true);
+    ws_.version.assign(ws_.pos.size(), 0);
+    ws_.nbr.assign(ws_.pos.size(), {});
+    ws_.inc.assign(ws_.pos.size(), {});
+    for (TriangleId t = 0; t < ws_.tris.size(); ++t) {
+      for (VertexId v : ws_.tris[t].v) ws_.inc[v].push_back(t);
+    }
+    for (const auto& e : mesh.edges()) {
+      ws_.nbr[e.a].push_back(e.b);
+      ws_.nbr[e.b].push_back(e.a);
+    }
+    // Scale-aware degeneracy threshold (squared area units).
+    const auto box = mesh.bounds();
+    const double diag2 = box.width() * box.width() + box.height() * box.height();
+    min_area2_ = 1e-14 * diag2;
+    if (opt.priority == EdgePriority::kGradientWeighted) {
+      const auto [lo, hi] = std::minmax_element(values.begin(), values.end());
+      value_range_ = std::max(*hi - *lo, 1e-300);
+    }
+    for (const auto& e : mesh.edges()) push_edge(e.a, e.b);
+  }
+
+  DecimateResult run() {
+    const std::size_t n0 = ws_.pos.size();
+    const double cut_fraction_target = 1.0 - 1.0 / opt_.ratio;
+    std::size_t cut = 0;
+    std::size_t rejected = 0;
+    while (static_cast<double>(cut) / static_cast<double>(n0) < cut_fraction_target &&
+           !heap_.empty()) {
+      const HeapEntry e = heap_.top();
+      heap_.pop();
+      if (!entry_valid(e)) continue;
+      if (try_collapse(e.a, e.b)) {
+        ++cut;
+      } else {
+        ++rejected;
+      }
+    }
+    DecimateResult r = compact();
+    r.achieved_ratio = static_cast<double>(n0) / static_cast<double>(r.mesh.vertex_count());
+    r.collapses = cut;
+    r.rejected = rejected;
+    return r;
+  }
+
+ private:
+  double edge_priority(VertexId a, VertexId b) {
+    const double len = distance(ws_.pos[a], ws_.pos[b]);
+    switch (opt_.priority) {
+      case EdgePriority::kShortestFirst:
+        return len;
+      case EdgePriority::kRandom:
+        return rng_.uniform();
+      case EdgePriority::kGradientWeighted:
+        return len * (1.0 + opt_.gradient_weight *
+                                std::abs(ws_.val[a] - ws_.val[b]) / value_range_);
+    }
+    CANOPUS_UNREACHABLE("unknown edge priority");
+  }
+
+  void push_edge(VertexId a, VertexId b) {
+    heap_.push(HeapEntry{edge_priority(a, b), a, b, ws_.version[a], ws_.version[b]});
+  }
+
+  bool entry_valid(const HeapEntry& e) const {
+    return ws_.vertex_alive[e.a] && ws_.vertex_alive[e.b] &&
+           ws_.version[e.a] == e.va_version && ws_.version[e.b] == e.vb_version &&
+           std::find(ws_.nbr[e.a].begin(), ws_.nbr[e.a].end(), e.b) != ws_.nbr[e.a].end();
+  }
+
+  /// Link condition: the set of vertices adjacent to both endpoints must be
+  /// exactly the opposite vertices of the triangles sharing the edge.
+  bool link_condition_ok(VertexId i, VertexId j) const {
+    std::vector<VertexId> opposite;
+    for (TriangleId t : ws_.inc[i]) {
+      if (!ws_.tri_alive[t]) continue;
+      const auto& tv = ws_.tris[t].v;
+      const bool has_j = tv[0] == j || tv[1] == j || tv[2] == j;
+      if (!has_j) continue;
+      for (VertexId v : tv) {
+        if (v != i && v != j) opposite.push_back(v);
+      }
+    }
+    std::size_t common = 0;
+    for (VertexId n : ws_.nbr[i]) {
+      if (std::find(ws_.nbr[j].begin(), ws_.nbr[j].end(), n) != ws_.nbr[j].end()) {
+        ++common;
+        if (std::find(opposite.begin(), opposite.end(), n) == opposite.end()) {
+          return false;  // shared neighbor not across the edge -> pinch
+        }
+      }
+    }
+    return common == opposite.size() && !opposite.empty();
+  }
+
+  /// Checks every surviving triangle around i or j keeps positive area when
+  /// the collapsed endpoint moves to `m`.
+  bool geometry_ok(VertexId i, VertexId j, Vec2 m) const {
+    auto survives_ok = [&](VertexId endpoint) {
+      for (TriangleId t : ws_.inc[endpoint]) {
+        if (!ws_.tri_alive[t]) continue;
+        const auto& tv = ws_.tris[t].v;
+        const bool has_i = tv[0] == i || tv[1] == i || tv[2] == i;
+        const bool has_j = tv[0] == j || tv[1] == j || tv[2] == j;
+        if (has_i && has_j) continue;  // dies with the collapse
+        Vec2 p[3];
+        for (int k = 0; k < 3; ++k) {
+          p[k] = (tv[k] == i || tv[k] == j) ? m : ws_.pos[tv[k]];
+        }
+        if (signed_area2(p[0], p[1], p[2]) <= min_area2_) return false;
+      }
+      return true;
+    };
+    return survives_ok(i) && survives_ok(j);
+  }
+
+  bool try_collapse(VertexId i, VertexId j) {
+    if (!link_condition_ok(i, j)) return false;
+    const Vec2 m = (ws_.pos[i] + ws_.pos[j]) * 0.5;  // NewVertex(Vi, Vj)
+    if (!geometry_ok(i, j, m)) return false;
+
+    // Kill triangles containing the edge.
+    for (TriangleId t : ws_.inc[i]) {
+      if (!ws_.tri_alive[t]) continue;
+      const auto& tv = ws_.tris[t].v;
+      if (tv[0] == j || tv[1] == j || tv[2] == j) {
+        ws_.tri_alive[t] = false;
+        for (VertexId v : tv) {
+          if (v != i) Workspace::tri_list_erase(ws_.inc[v], t);
+        }
+      }
+    }
+    ws_.inc[i].erase(std::remove_if(ws_.inc[i].begin(), ws_.inc[i].end(),
+                                    [&](TriangleId t) { return !ws_.tri_alive[t]; }),
+                     ws_.inc[i].end());
+
+    // Rewire triangles that referenced only j.
+    for (TriangleId t : ws_.inc[j]) {
+      if (!ws_.tri_alive[t]) continue;
+      for (VertexId& v : ws_.tris[t].v) {
+        if (v == j) v = i;
+      }
+      ws_.inc[i].push_back(t);
+    }
+    ws_.inc[j].clear();
+
+    // Merge adjacency: neighbors of j become neighbors of i.
+    for (VertexId n : ws_.nbr[j]) {
+      if (n == i) continue;
+      Workspace::list_erase(ws_.nbr[n], j);
+      Workspace::list_insert(ws_.nbr[n], i);
+      Workspace::list_insert(ws_.nbr[i], n);
+    }
+    Workspace::list_erase(ws_.nbr[i], j);
+    ws_.nbr[j].clear();
+
+    // Move i to the midpoint, average the data (NewData = mean).
+    ws_.pos[i] = m;
+    ws_.val[i] = (ws_.val[i] + ws_.val[j]) * 0.5;
+    ws_.vertex_alive[j] = false;
+    collapse_log_.emplace_back(i, j);
+
+    // Invalidate stale heap entries and re-key every edge incident to i.
+    ++ws_.version[i];
+    ++ws_.version[j];
+    for (VertexId n : ws_.nbr[i]) push_edge(i, n);
+    return true;
+  }
+
+  DecimateResult compact() const {
+    std::vector<VertexId> remap(ws_.pos.size(), kInvalidVertex);
+    std::vector<Vec2> vertices;
+    Field values;
+    auto has_live_triangle = [&](VertexId v) {
+      for (TriangleId t : ws_.inc[v]) {
+        if (ws_.tri_alive[t]) return true;
+      }
+      return false;
+    };
+    // A collapse can orphan a boundary-corner vertex whose only triangle died;
+    // drop such vertices so the compacted mesh has no isolated vertices.
+    std::vector<VertexId> survivors;
+    for (VertexId v = 0; v < ws_.pos.size(); ++v) {
+      if (ws_.vertex_alive[v] && has_live_triangle(v)) {
+        remap[v] = static_cast<VertexId>(vertices.size());
+        vertices.push_back(ws_.pos[v]);
+        values.push_back(ws_.val[v]);
+        survivors.push_back(v);
+      }
+    }
+    std::vector<Triangle> tris;
+    for (TriangleId t = 0; t < ws_.tris.size(); ++t) {
+      if (!ws_.tri_alive[t]) continue;
+      Triangle tri = ws_.tris[t];
+      for (VertexId& v : tri.v) v = remap[v];
+      tris.push_back(tri);
+    }
+    DecimateResult r;
+    r.mesh = TriMesh(std::move(vertices), std::move(tris));
+    r.values = std::move(values);
+    r.collapse_log = collapse_log_;
+    r.survivor_slots = std::move(survivors);
+    return r;
+  }
+
+  DecimateOptions opt_;
+  util::Rng rng_;
+  Workspace ws_;
+  std::priority_queue<HeapEntry> heap_;
+  std::vector<std::pair<VertexId, VertexId>> collapse_log_;
+  double min_area2_ = 0.0;
+  double value_range_ = 1.0;
+};
+
+}  // namespace
+
+DecimateResult decimate(const TriMesh& mesh, const Field& values,
+                        const DecimateOptions& options) {
+  Decimator d(mesh, values, options);
+  return d.run();
+}
+
+Field replay_decimation(const DecimateResult& recipe, const Field& values) {
+  Field work = values;
+  for (const auto& [i, j] : recipe.collapse_log) {
+    CANOPUS_CHECK(i < work.size() && j < work.size(),
+                  "replay: collapse log does not match field size");
+    work[i] = (work[i] + work[j]) * 0.5;
+  }
+  Field out;
+  out.reserve(recipe.survivor_slots.size());
+  for (VertexId slot : recipe.survivor_slots) {
+    CANOPUS_CHECK(slot < work.size(), "replay: survivor slot out of range");
+    out.push_back(work[slot]);
+  }
+  return out;
+}
+
+}  // namespace canopus::mesh

@@ -1,0 +1,223 @@
+#include "mesh/generators.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/assert.hpp"
+
+namespace canopus::mesh {
+
+namespace {
+
+/// Ensures every triangle is CCW by swapping two vertices when needed.
+void orient_ccw(const std::vector<Vec2>& vertices, std::vector<Triangle>& tris) {
+  for (auto& t : tris) {
+    if (signed_area2(vertices[t.v[0]], vertices[t.v[1]], vertices[t.v[2]]) < 0.0) {
+      std::swap(t.v[1], t.v[2]);
+    }
+  }
+}
+
+}  // namespace
+
+TriMesh make_rect_mesh(std::size_t nx, std::size_t ny, double w, double h,
+                       double jitter, std::uint64_t seed) {
+  CANOPUS_ASSERT(nx >= 1 && ny >= 1);
+  util::Rng rng(seed);
+  const std::size_t vx = nx + 1, vy = ny + 1;
+  std::vector<Vec2> vertices;
+  vertices.reserve(vx * vy);
+  const double dx = w / static_cast<double>(nx);
+  const double dy = h / static_cast<double>(ny);
+  for (std::size_t j = 0; j < vy; ++j) {
+    for (std::size_t i = 0; i < vx; ++i) {
+      Vec2 p{static_cast<double>(i) * dx, static_cast<double>(j) * dy};
+      const bool interior = i > 0 && i < nx && j > 0 && j < ny;
+      if (interior && jitter > 0.0) {
+        p.x += rng.uniform(-jitter, jitter) * dx;
+        p.y += rng.uniform(-jitter, jitter) * dy;
+      }
+      vertices.push_back(p);
+    }
+  }
+  std::vector<Triangle> tris;
+  tris.reserve(nx * ny * 2);
+  auto vid = [vx](std::size_t i, std::size_t j) {
+    return static_cast<VertexId>(j * vx + i);
+  };
+  for (std::size_t j = 0; j < ny; ++j) {
+    for (std::size_t i = 0; i < nx; ++i) {
+      const VertexId a = vid(i, j), b = vid(i + 1, j);
+      const VertexId c = vid(i + 1, j + 1), d = vid(i, j + 1);
+      // Alternate the quad diagonal so the triangulation has no global bias.
+      if ((i + j) % 2 == 0) {
+        tris.push_back({{a, b, c}});
+        tris.push_back({{a, c, d}});
+      } else {
+        tris.push_back({{a, b, d}});
+        tris.push_back({{b, c, d}});
+      }
+    }
+  }
+  orient_ccw(vertices, tris);
+  return TriMesh(std::move(vertices), std::move(tris));
+}
+
+TriMesh make_annulus_mesh(std::size_t rings, std::size_t sectors,
+                          double r_inner, double r_outer,
+                          double jitter, std::uint64_t seed) {
+  CANOPUS_ASSERT(rings >= 1 && sectors >= 3);
+  CANOPUS_ASSERT(r_inner > 0.0 && r_outer > r_inner);
+  util::Rng rng(seed);
+  std::vector<Vec2> vertices;
+  vertices.reserve((rings + 1) * sectors);
+  const double dr = (r_outer - r_inner) / static_cast<double>(rings);
+  const double dtheta = 2.0 * std::numbers::pi / static_cast<double>(sectors);
+  for (std::size_t r = 0; r <= rings; ++r) {
+    for (std::size_t s = 0; s < sectors; ++s) {
+      double radius = r_inner + static_cast<double>(r) * dr;
+      double theta = static_cast<double>(s) * dtheta;
+      const bool interior = r > 0 && r < rings;
+      if (interior && jitter > 0.0) {
+        radius += rng.uniform(-jitter, jitter) * dr;
+        theta += rng.uniform(-jitter, jitter) * dtheta;
+      }
+      vertices.push_back({radius * std::cos(theta), radius * std::sin(theta)});
+    }
+  }
+  std::vector<Triangle> tris;
+  tris.reserve(rings * sectors * 2);
+  auto vid = [sectors](std::size_t r, std::size_t s) {
+    return static_cast<VertexId>(r * sectors + s % sectors);
+  };
+  for (std::size_t r = 0; r < rings; ++r) {
+    for (std::size_t s = 0; s < sectors; ++s) {
+      const VertexId a = vid(r, s), b = vid(r, s + 1);
+      const VertexId c = vid(r + 1, s + 1), d = vid(r + 1, s);
+      if ((r + s) % 2 == 0) {
+        tris.push_back({{a, b, c}});
+        tris.push_back({{a, c, d}});
+      } else {
+        tris.push_back({{a, b, d}});
+        tris.push_back({{b, c, d}});
+      }
+    }
+  }
+  orient_ccw(vertices, tris);
+  return TriMesh(std::move(vertices), std::move(tris));
+}
+
+TriMesh make_disk_mesh(std::size_t rings, std::size_t sectors, double radius,
+                       double jitter, std::uint64_t seed) {
+  CANOPUS_ASSERT(rings >= 1 && sectors >= 3 && radius > 0.0);
+  util::Rng rng(seed);
+  std::vector<Vec2> vertices;
+  vertices.push_back({0.0, 0.0});  // center
+  const double dr = radius / static_cast<double>(rings);
+  const double dtheta = 2.0 * std::numbers::pi / static_cast<double>(sectors);
+  for (std::size_t r = 1; r <= rings; ++r) {
+    for (std::size_t s = 0; s < sectors; ++s) {
+      double rr = static_cast<double>(r) * dr;
+      double theta = static_cast<double>(s) * dtheta;
+      const bool interior = r < rings;
+      if (interior && jitter > 0.0) {
+        rr += rng.uniform(-jitter, jitter) * dr;
+        theta += rng.uniform(-jitter, jitter) * dtheta;
+      }
+      vertices.push_back({rr * std::cos(theta), rr * std::sin(theta)});
+    }
+  }
+  std::vector<Triangle> tris;
+  auto vid = [sectors](std::size_t r, std::size_t s) {
+    // ring r >= 1; rings are laid out after the center vertex.
+    return static_cast<VertexId>(1 + (r - 1) * sectors + s % sectors);
+  };
+  // Center fan.
+  for (std::size_t s = 0; s < sectors; ++s) {
+    tris.push_back({{0, vid(1, s), vid(1, s + 1)}});
+  }
+  // Annular rings.
+  for (std::size_t r = 1; r < rings; ++r) {
+    for (std::size_t s = 0; s < sectors; ++s) {
+      const VertexId a = vid(r, s), b = vid(r, s + 1);
+      const VertexId c = vid(r + 1, s + 1), d = vid(r + 1, s);
+      if ((r + s) % 2 == 0) {
+        tris.push_back({{a, b, c}});
+        tris.push_back({{a, c, d}});
+      } else {
+        tris.push_back({{a, b, d}});
+        tris.push_back({{b, c, d}});
+      }
+    }
+  }
+  orient_ccw(vertices, tris);
+  return TriMesh(std::move(vertices), std::move(tris));
+}
+
+TriMesh make_airfoil_mesh(std::size_t nx, std::size_t ny, double w, double h,
+                          double cx, double cy, double chord, double thickness,
+                          double jitter, std::uint64_t seed) {
+  TriMesh grid = make_rect_mesh(nx, ny, w, h, jitter, seed);
+  auto inside_body = [&](Vec2 p) {
+    const double u = (p.x - cx) / (chord * 0.5);
+    const double v = (p.y - cy) / (thickness * 0.5);
+    return u * u + v * v < 1.0;
+  };
+  // Remap vertices outside the body to compact ids; drop triangles touching
+  // any removed vertex.
+  std::vector<VertexId> remap(grid.vertex_count(), kInvalidVertex);
+  std::vector<Vec2> vertices;
+  vertices.reserve(grid.vertex_count());
+  for (VertexId v = 0; v < grid.vertex_count(); ++v) {
+    if (!inside_body(grid.vertex(v))) {
+      remap[v] = static_cast<VertexId>(vertices.size());
+      vertices.push_back(grid.vertex(v));
+    }
+  }
+  std::vector<Triangle> tris;
+  for (const auto& t : grid.triangles()) {
+    const VertexId a = remap[t.v[0]], b = remap[t.v[1]], c = remap[t.v[2]];
+    if (a != kInvalidVertex && b != kInvalidVertex && c != kInvalidVertex) {
+      tris.push_back({{a, b, c}});
+    }
+  }
+  CANOPUS_CHECK(!tris.empty(), "airfoil body swallowed the whole domain");
+  // Drop vertices that lost all their triangles (ring just around the body).
+  std::vector<VertexId> remap2(vertices.size(), kInvalidVertex);
+  for (const auto& t : tris) {
+    for (VertexId v : t.v) remap2[v] = 0;
+  }
+  std::vector<Vec2> used;
+  used.reserve(vertices.size());
+  for (VertexId v = 0; v < vertices.size(); ++v) {
+    if (remap2[v] != kInvalidVertex) {
+      remap2[v] = static_cast<VertexId>(used.size());
+      used.push_back(vertices[v]);
+    }
+  }
+  for (auto& t : tris) {
+    for (auto& v : t.v) v = remap2[v];
+  }
+  return TriMesh(std::move(used), std::move(tris));
+}
+
+TriMesh shuffle_vertices(const TriMesh& mesh, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<VertexId> perm(mesh.vertex_count());
+  for (VertexId v = 0; v < perm.size(); ++v) perm[v] = v;
+  // Fisher-Yates with the deterministic engine.
+  for (std::size_t i = perm.size(); i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.uniform_index(i)]);
+  }
+  std::vector<Vec2> vertices(mesh.vertex_count());
+  for (VertexId v = 0; v < mesh.vertex_count(); ++v) {
+    vertices[perm[v]] = mesh.vertex(v);
+  }
+  std::vector<Triangle> tris = mesh.triangles();
+  for (auto& t : tris) {
+    for (auto& v : t.v) v = perm[v];
+  }
+  return TriMesh(std::move(vertices), std::move(tris));
+}
+
+}  // namespace canopus::mesh

@@ -1,0 +1,49 @@
+#pragma once
+// Procedural triangulations standing in for the paper's application meshes.
+//
+// XGC1 planes are annular cross-sections of a tokamak; GenASiS slices are
+// disks around a collapsed core; the CFD kernel is a body embedded in a
+// rectangular flow domain. Each generator produces a valid, consistently
+// CCW-oriented TriMesh; optional jitter breaks the structured regularity so
+// the meshes exercise truly unstructured code paths.
+
+#include <cstdint>
+
+#include "mesh/tri_mesh.hpp"
+#include "util/rng.hpp"
+
+namespace canopus::mesh {
+
+/// Rectangular domain [0,w]x[0,h] triangulated as nx*ny quads split into two
+/// triangles each. `jitter` perturbs interior vertices by up to that fraction
+/// of a cell (0 keeps the structured grid).
+TriMesh make_rect_mesh(std::size_t nx, std::size_t ny, double w, double h,
+                       double jitter = 0.0, std::uint64_t seed = 1);
+
+/// Annulus centered at the origin with inner/outer radii, `rings` radial
+/// layers and `sectors` angular divisions; models a tokamak poloidal plane.
+TriMesh make_annulus_mesh(std::size_t rings, std::size_t sectors,
+                          double r_inner, double r_outer,
+                          double jitter = 0.0, std::uint64_t seed = 1);
+
+/// Disk of the given radius: a center fan plus annular rings.
+TriMesh make_disk_mesh(std::size_t rings, std::size_t sectors, double radius,
+                       double jitter = 0.0, std::uint64_t seed = 1);
+
+/// Rectangular flow domain with an elliptic body (chord x thickness, centered
+/// at cx, cy) removed — vertices inside the ellipse are dropped and triangles
+/// touching them discarded, leaving a jet/airfoil-like cutout.
+TriMesh make_airfoil_mesh(std::size_t nx, std::size_t ny, double w, double h,
+                          double cx, double cy, double chord, double thickness,
+                          double jitter = 0.0, std::uint64_t seed = 1);
+
+/// Renumbers vertices with a deterministic random permutation (triangles are
+/// remapped accordingly). The builders above emit raster-ordered vertex ids,
+/// which real unstructured-mesh generators do not: production meshes number
+/// vertices in an order with little spatial coherence, which is precisely why
+/// order-agnostic 1-D compressors struggle on mesh data and why Canopus'
+/// mesh-aware prediction pays off (Section II-D). Synthetic datasets apply
+/// this to model realistic numbering.
+TriMesh shuffle_vertices(const TriMesh& mesh, std::uint64_t seed);
+
+}  // namespace canopus::mesh

@@ -1,0 +1,71 @@
+#include "mesh/mesh_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace canopus::mesh {
+
+void save_off(const TriMesh& mesh, const std::string& path, const Field* values) {
+  if (values) {
+    CANOPUS_CHECK(values->size() == mesh.vertex_count(),
+                  "field size does not match vertex count");
+  }
+  std::ofstream f(path);
+  CANOPUS_CHECK(f.good(), "cannot open for writing: " + path);
+  f << "OFF\n"
+    << mesh.vertex_count() << ' ' << mesh.triangle_count() << " 0\n";
+  f.precision(17);
+  for (VertexId v = 0; v < mesh.vertex_count(); ++v) {
+    const Vec2 p = mesh.vertex(v);
+    f << p.x << ' ' << p.y << ' ' << (values ? (*values)[v] : 0.0) << '\n';
+  }
+  for (const auto& t : mesh.triangles()) {
+    f << "3 " << t.v[0] << ' ' << t.v[1] << ' ' << t.v[2] << '\n';
+  }
+  CANOPUS_CHECK(f.good(), "write failed: " + path);
+}
+
+TriMesh load_off(const std::string& path) {
+  std::ifstream f(path);
+  CANOPUS_CHECK(f.good(), "cannot open for reading: " + path);
+  std::string magic;
+  f >> magic;
+  CANOPUS_CHECK(magic == "OFF", "not an OFF file: " + path);
+  std::size_t nv = 0, nf = 0, ne = 0;
+  f >> nv >> nf >> ne;
+  CANOPUS_CHECK(f.good(), "corrupt OFF header: " + path);
+  std::vector<Vec2> vertices;
+  vertices.reserve(nv);
+  for (std::size_t i = 0; i < nv; ++i) {
+    double x = 0, y = 0, z = 0;
+    f >> x >> y >> z;
+    vertices.push_back({x, y});
+  }
+  std::vector<Triangle> tris;
+  tris.reserve(nf);
+  for (std::size_t i = 0; i < nf; ++i) {
+    std::size_t arity = 0;
+    f >> arity;
+    CANOPUS_CHECK(arity == 3, "non-triangular face in OFF file: " + path);
+    Triangle t;
+    f >> t.v[0] >> t.v[1] >> t.v[2];
+    tris.push_back(t);
+  }
+  CANOPUS_CHECK(!f.fail(), "corrupt OFF body: " + path);
+  return TriMesh(std::move(vertices), std::move(tris));
+}
+
+void save_pgm(const std::vector<std::uint8_t>& pixels, std::size_t width,
+              std::size_t height, const std::string& path) {
+  CANOPUS_CHECK(pixels.size() == width * height, "pixel buffer size mismatch");
+  std::ofstream f(path, std::ios::binary);
+  CANOPUS_CHECK(f.good(), "cannot open for writing: " + path);
+  f << "P5\n" << width << ' ' << height << "\n255\n";
+  f.write(reinterpret_cast<const char*>(pixels.data()),
+          static_cast<std::streamsize>(pixels.size()));
+  CANOPUS_CHECK(f.good(), "write failed: " + path);
+}
+
+}  // namespace canopus::mesh

@@ -1,0 +1,25 @@
+#pragma once
+// Plain-text mesh exchange (OFF format) so refactored levels can be inspected
+// with standard mesh viewers, plus a PGM raster dump used by the figure
+// benches to emit the paper's visual panels (Figs. 4 and 7).
+
+#include <string>
+#include <vector>
+
+#include "mesh/tri_mesh.hpp"
+
+namespace canopus::mesh {
+
+/// Writes the mesh in OFF format (z = 0, or z = field value when provided for
+/// a height-field view).
+void save_off(const TriMesh& mesh, const std::string& path,
+              const Field* values = nullptr);
+
+/// Loads an OFF file; only triangular faces are accepted.
+TriMesh load_off(const std::string& path);
+
+/// Writes an 8-bit grayscale PGM image.
+void save_pgm(const std::vector<std::uint8_t>& pixels, std::size_t width,
+              std::size_t height, const std::string& path);
+
+}  // namespace canopus::mesh

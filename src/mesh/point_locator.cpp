@@ -1,0 +1,109 @@
+#include "mesh/point_locator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace canopus::mesh {
+
+PointLocator::PointLocator(const TriMesh& mesh, double cells_per_triangle)
+    : mesh_(mesh) {
+  CANOPUS_CHECK(mesh.triangle_count() > 0, "cannot index an empty mesh");
+  bounds_ = mesh.bounds();
+  const double target =
+      std::max(1.0, cells_per_triangle * static_cast<double>(mesh.triangle_count()));
+  const double aspect = std::max(bounds_.width(), 1e-300) /
+                        std::max(bounds_.height(), 1e-300);
+  ny_ = std::max<std::size_t>(1, static_cast<std::size_t>(std::sqrt(target / aspect)));
+  nx_ = std::max<std::size_t>(1, static_cast<std::size_t>(target / static_cast<double>(ny_)));
+  inv_dx_ = bounds_.width() > 0.0 ? static_cast<double>(nx_) / bounds_.width() : 0.0;
+  inv_dy_ = bounds_.height() > 0.0 ? static_cast<double>(ny_) / bounds_.height() : 0.0;
+  cells_.assign(nx_ * ny_, {});
+
+  const auto& verts = mesh.vertices();
+  for (TriangleId t = 0; t < mesh.triangle_count(); ++t) {
+    const auto& tri = mesh.triangle(t);
+    Aabb box;
+    box.lo = box.hi = verts[tri.v[0]];
+    box.expand(verts[tri.v[1]]);
+    box.expand(verts[tri.v[2]]);
+    const auto c0 = cell_of(box.lo);
+    const auto c1 = cell_of(box.hi);
+    const std::size_t x0 = c0 % nx_, y0 = c0 / nx_;
+    const std::size_t x1 = c1 % nx_, y1 = c1 / nx_;
+    for (std::size_t y = y0; y <= y1; ++y) {
+      for (std::size_t x = x0; x <= x1; ++x) {
+        cells_[y * nx_ + x].push_back(t);
+      }
+    }
+  }
+}
+
+std::size_t PointLocator::cell_of(Vec2 p) const {
+  auto clampi = [](double v, std::size_t n) {
+    if (v < 0.0) return std::size_t{0};
+    const auto i = static_cast<std::size_t>(v);
+    return std::min(i, n - 1);
+  };
+  const std::size_t x = clampi((p.x - bounds_.lo.x) * inv_dx_, nx_);
+  const std::size_t y = clampi((p.y - bounds_.lo.y) * inv_dy_, ny_);
+  return y * nx_ + x;
+}
+
+std::optional<Location> PointLocator::try_locate(Vec2 p) const {
+  const auto& verts = mesh_.vertices();
+  for (TriangleId t : cells_[cell_of(p)]) {
+    const auto& tri = mesh_.triangle(t);
+    const auto w = barycentric(p, verts[tri.v[0]], verts[tri.v[1]], verts[tri.v[2]]);
+    constexpr double eps = 1e-10;
+    if (w[0] >= -eps && w[1] >= -eps && w[2] >= -eps) {
+      return Location{t, w, true};
+    }
+  }
+  return std::nullopt;
+}
+
+Location PointLocator::locate(Vec2 p) const {
+  if (const auto hit = try_locate(p)) return *hit;
+  return nearest_fallback(p);
+}
+
+Location PointLocator::nearest_fallback(Vec2 p) const {
+  // Scans all triangles for the one whose clamped barycentric projection is
+  // nearest. Linear, but only hit for rim points outside the coarse mesh.
+  const auto& verts = mesh_.vertices();
+  Location best;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  for (TriangleId t = 0; t < mesh_.triangle_count(); ++t) {
+    const auto& tri = mesh_.triangle(t);
+    const Vec2 a = verts[tri.v[0]], b = verts[tri.v[1]], c = verts[tri.v[2]];
+    auto w = barycentric(p, a, b, c);
+    // Clamp negative weights to zero and renormalize: projects p into the
+    // triangle along barycentric axes (adequate for near-boundary points).
+    for (double& wi : w) wi = std::max(0.0, wi);
+    const double sum = w[0] + w[1] + w[2];
+    if (sum <= 0.0) continue;
+    for (double& wi : w) wi /= sum;
+    const Vec2 proj = a * w[0] + b * w[1] + c * w[2];
+    const double d2 = (proj - p).norm2();
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = Location{t, w, false};
+    }
+  }
+  CANOPUS_CHECK(best.triangle != static_cast<TriangleId>(-1),
+                "point location failed: mesh fully degenerate");
+  return best;
+}
+
+std::vector<Location> PointLocator::locate_all(const TriMesh& fine) const {
+  std::vector<Location> out(fine.vertex_count());
+  for (VertexId v = 0; v < fine.vertex_count(); ++v) {
+    out[v] = locate(fine.vertex(v));
+  }
+  return out;
+}
+
+}  // namespace canopus::mesh

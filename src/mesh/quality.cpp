@@ -1,0 +1,53 @@
+#include "mesh/quality.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/assert.hpp"
+
+namespace canopus::mesh {
+
+QualityStats quality_stats(const TriMesh& mesh) {
+  CANOPUS_CHECK(mesh.triangle_count() > 0, "quality: empty mesh");
+  QualityStats q;
+  q.min_angle_deg = 180.0;
+  double sum_min_angle = 0.0;
+  double sum_aspect = 0.0;
+
+  const auto& verts = mesh.vertices();
+  for (const auto& t : mesh.triangles()) {
+    const Vec2 a = verts[t.v[0]], b = verts[t.v[1]], c = verts[t.v[2]];
+    const double la = distance(b, c);
+    const double lb = distance(a, c);
+    const double lc = distance(a, b);
+    const double area = triangle_area(a, b, c);
+
+    // Interior angles via the law of cosines (clamped for robustness).
+    auto angle = [](double opposite, double s1, double s2) {
+      const double cosv =
+          std::clamp((s1 * s1 + s2 * s2 - opposite * opposite) /
+                         std::max(2.0 * s1 * s2, 1e-300),
+                     -1.0, 1.0);
+      return std::acos(cosv) * 180.0 / std::numbers::pi;
+    };
+    const double min_angle = std::min(
+        {angle(la, lb, lc), angle(lb, la, lc), angle(lc, la, lb)});
+    q.min_angle_deg = std::min(q.min_angle_deg, min_angle);
+    sum_min_angle += min_angle;
+    if (min_angle < 2.0) ++q.sliver_count;
+
+    // Aspect = longest edge / shortest altitude; altitude = 2*area / edge.
+    const double longest = std::max({la, lb, lc});
+    const double altitude = area > 0.0 ? 2.0 * area / longest : 0.0;
+    const double aspect = altitude > 0.0 ? longest / altitude : 1e300;
+    q.max_aspect_ratio = std::max(q.max_aspect_ratio, aspect);
+    sum_aspect += std::min(aspect, 1e300);
+  }
+  const double n = static_cast<double>(mesh.triangle_count());
+  q.mean_min_angle_deg = sum_min_angle / n;
+  q.mean_aspect_ratio = sum_aspect / n;
+  return q;
+}
+
+}  // namespace canopus::mesh

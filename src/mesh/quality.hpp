@@ -1,0 +1,21 @@
+#pragma once
+// Triangle-quality metrics: edge-collapse decimation must not degrade the
+// mesh into slivers, or interpolation (Estimate, rasterization) loses
+// accuracy. Used by tests and the refactoring gallery.
+
+#include "mesh/tri_mesh.hpp"
+
+namespace canopus::mesh {
+
+struct QualityStats {
+  double min_angle_deg = 0.0;    // smallest interior angle anywhere
+  double mean_min_angle_deg = 0.0;  // mean over triangles of their min angle
+  double max_aspect_ratio = 0.0;    // longest edge / shortest altitude
+  double mean_aspect_ratio = 0.0;
+  std::size_t sliver_count = 0;     // triangles with min angle < 2 degrees
+};
+
+/// Computes per-triangle quality aggregates. Requires a non-empty mesh.
+QualityStats quality_stats(const TriMesh& mesh);
+
+}  // namespace canopus::mesh

@@ -1,0 +1,159 @@
+#include "mesh/tri_mesh.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/assert.hpp"
+
+namespace canopus::mesh {
+
+TriMesh::TriMesh(std::vector<Vec2> vertices, std::vector<Triangle> triangles)
+    : vertices_(std::move(vertices)), triangles_(std::move(triangles)) {
+  for (const auto& t : triangles_) {
+    for (VertexId v : t.v) {
+      CANOPUS_CHECK(v < vertices_.size(), "triangle references missing vertex");
+    }
+    CANOPUS_CHECK(t.v[0] != t.v[1] && t.v[1] != t.v[2] && t.v[0] != t.v[2],
+                  "degenerate triangle (repeated vertex)");
+  }
+}
+
+const std::vector<Edge>& TriMesh::edges() const {
+  if (!edges_built_) {
+    edges_.clear();
+    edges_.reserve(triangles_.size() * 3);
+    for (const auto& t : triangles_) {
+      edges_.emplace_back(t.v[0], t.v[1]);
+      edges_.emplace_back(t.v[1], t.v[2]);
+      edges_.emplace_back(t.v[2], t.v[0]);
+    }
+    std::sort(edges_.begin(), edges_.end());
+    edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+    edges_built_ = true;
+  }
+  return edges_;
+}
+
+const std::vector<std::vector<VertexId>>& TriMesh::vertex_neighbors() const {
+  if (!neighbors_built_) {
+    neighbors_.assign(vertices_.size(), {});
+    for (const auto& e : edges()) {
+      neighbors_[e.a].push_back(e.b);
+      neighbors_[e.b].push_back(e.a);
+    }
+    neighbors_built_ = true;
+  }
+  return neighbors_;
+}
+
+const std::vector<std::vector<TriangleId>>& TriMesh::vertex_triangles() const {
+  if (!vertex_tris_built_) {
+    vertex_tris_.assign(vertices_.size(), {});
+    for (TriangleId t = 0; t < triangles_.size(); ++t) {
+      for (VertexId v : triangles_[t].v) vertex_tris_[v].push_back(t);
+    }
+    vertex_tris_built_ = true;
+  }
+  return vertex_tris_;
+}
+
+Aabb TriMesh::bounds() const {
+  Aabb box;
+  if (vertices_.empty()) return box;
+  box.lo = box.hi = vertices_[0];
+  for (const auto& v : vertices_) box.expand(v);
+  return box;
+}
+
+double TriMesh::total_area() const {
+  double area = 0.0;
+  for (const auto& t : triangles_) {
+    area += triangle_area(vertices_[t.v[0]], vertices_[t.v[1]], vertices_[t.v[2]]);
+  }
+  return area;
+}
+
+std::vector<Edge> TriMesh::boundary_edges() const {
+  std::map<Edge, int> count;
+  for (const auto& t : triangles_) {
+    ++count[Edge(t.v[0], t.v[1])];
+    ++count[Edge(t.v[1], t.v[2])];
+    ++count[Edge(t.v[2], t.v[0])];
+  }
+  std::vector<Edge> out;
+  for (const auto& [e, c] : count) {
+    if (c == 1) out.push_back(e);
+  }
+  return out;
+}
+
+void TriMesh::serialize(util::ByteWriter& out) const {
+  out.put_varint(vertices_.size());
+  for (const auto& v : vertices_) {
+    out.put(v.x);
+    out.put(v.y);
+  }
+  out.put_varint(triangles_.size());
+  for (const auto& t : triangles_) {
+    out.put_varint(t.v[0]);
+    out.put_varint(t.v[1]);
+    out.put_varint(t.v[2]);
+  }
+}
+
+TriMesh TriMesh::deserialize(util::ByteReader& in) {
+  const auto nv = in.get_varint();
+  std::vector<Vec2> vertices;
+  vertices.reserve(nv);
+  for (std::uint64_t i = 0; i < nv; ++i) {
+    Vec2 v;
+    v.x = in.get<double>();
+    v.y = in.get<double>();
+    vertices.push_back(v);
+  }
+  const auto nt = in.get_varint();
+  std::vector<Triangle> triangles;
+  triangles.reserve(nt);
+  for (std::uint64_t i = 0; i < nt; ++i) {
+    Triangle t;
+    t.v[0] = static_cast<VertexId>(in.get_varint());
+    t.v[1] = static_cast<VertexId>(in.get_varint());
+    t.v[2] = static_cast<VertexId>(in.get_varint());
+    triangles.push_back(t);
+  }
+  return TriMesh(std::move(vertices), std::move(triangles));
+}
+
+namespace {
+/// Interleaves the low 16 bits of x and y into a 32-bit Morton key.
+std::uint32_t morton(std::uint16_t x, std::uint16_t y) {
+  auto spread = [](std::uint32_t v) {
+    v &= 0xFFFF;
+    v = (v | (v << 8)) & 0x00FF00FF;
+    v = (v | (v << 4)) & 0x0F0F0F0F;
+    v = (v | (v << 2)) & 0x33333333;
+    v = (v | (v << 1)) & 0x55555555;
+    return v;
+  };
+  return spread(x) | (spread(y) << 1);
+}
+}  // namespace
+
+std::vector<VertexId> spatial_order(const TriMesh& mesh) {
+  const auto box = mesh.bounds();
+  const double sx = box.width() > 0 ? 65535.0 / box.width() : 0.0;
+  const double sy = box.height() > 0 ? 65535.0 / box.height() : 0.0;
+  std::vector<std::pair<std::uint32_t, VertexId>> keyed(mesh.vertex_count());
+  for (VertexId v = 0; v < mesh.vertex_count(); ++v) {
+    const auto p = mesh.vertex(v);
+    const auto qx = static_cast<std::uint16_t>((p.x - box.lo.x) * sx);
+    const auto qy = static_cast<std::uint16_t>((p.y - box.lo.y) * sy);
+    keyed[v] = {morton(qx, qy), v};
+  }
+  std::sort(keyed.begin(), keyed.end());
+  std::vector<VertexId> order(mesh.vertex_count());
+  for (std::size_t i = 0; i < keyed.size(); ++i) order[i] = keyed[i].second;
+  return order;
+}
+
+}  // namespace canopus::mesh

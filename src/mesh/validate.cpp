@@ -1,0 +1,70 @@
+#include "mesh/validate.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace canopus::mesh {
+
+ValidationReport validate(const TriMesh& mesh) {
+  ValidationReport r;
+  r.vertex_count = mesh.vertex_count();
+  r.triangle_count = mesh.triangle_count();
+
+  const auto& verts = mesh.vertices();
+  std::set<std::array<VertexId, 3>> seen;
+  std::map<Edge, int> edge_use;
+  std::vector<bool> referenced(mesh.vertex_count(), false);
+
+  for (TriangleId t = 0; t < mesh.triangle_count(); ++t) {
+    const auto& tri = mesh.triangle(t);
+    for (VertexId v : tri.v) {
+      if (v >= mesh.vertex_count()) {
+        r.fail("triangle " + std::to_string(t) + " references out-of-range vertex");
+        return r;
+      }
+      referenced[v] = true;
+    }
+    if (tri.v[0] == tri.v[1] || tri.v[1] == tri.v[2] || tri.v[0] == tri.v[2]) {
+      r.fail("triangle " + std::to_string(t) + " repeats a vertex");
+      continue;
+    }
+    auto key = tri.v;
+    std::sort(key.begin(), key.end());
+    if (!seen.insert(key).second) {
+      r.fail("duplicate triangle " + std::to_string(t));
+    }
+    const double area2 = signed_area2(verts[tri.v[0]], verts[tri.v[1]], verts[tri.v[2]]);
+    if (area2 == 0.0) {
+      r.fail("zero-area triangle " + std::to_string(t));
+    } else if (area2 < 0.0) {
+      r.fail("clockwise triangle " + std::to_string(t));
+    }
+    ++edge_use[Edge(tri.v[0], tri.v[1])];
+    ++edge_use[Edge(tri.v[1], tri.v[2])];
+    ++edge_use[Edge(tri.v[2], tri.v[0])];
+  }
+
+  r.edge_count = edge_use.size();
+  for (const auto& [e, uses] : edge_use) {
+    if (uses > 2) {
+      r.fail("non-manifold edge (" + std::to_string(e.a) + "," +
+             std::to_string(e.b) + ") used by " + std::to_string(uses) +
+             " triangles");
+    }
+    if (uses == 1) ++r.boundary_edge_count;
+  }
+
+  for (VertexId v = 0; v < mesh.vertex_count(); ++v) {
+    if (!referenced[v]) {
+      r.fail("isolated vertex " + std::to_string(v));
+    }
+  }
+
+  r.euler_characteristic = static_cast<long>(r.vertex_count) -
+                           static_cast<long>(r.edge_count) +
+                           static_cast<long>(r.triangle_count);
+  return r;
+}
+
+}  // namespace canopus::mesh

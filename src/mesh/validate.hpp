@@ -1,0 +1,34 @@
+#pragma once
+// Structural invariant checks for TriMesh, used by tests and by the
+// decimator's debug mode to catch connectivity corruption early.
+
+#include <string>
+#include <vector>
+
+#include "mesh/tri_mesh.hpp"
+
+namespace canopus::mesh {
+
+struct ValidationReport {
+  bool ok = true;
+  std::vector<std::string> problems;
+
+  std::size_t vertex_count = 0;
+  std::size_t edge_count = 0;
+  std::size_t triangle_count = 0;
+  std::size_t boundary_edge_count = 0;
+  /// V - E + F (no outer face); 1 for a disk, 0 for an annulus.
+  long euler_characteristic = 0;
+
+  void fail(std::string why) {
+    ok = false;
+    problems.push_back(std::move(why));
+  }
+};
+
+/// Checks: indices in range, no degenerate/duplicate/zero-area triangles,
+/// every edge shared by at most two triangles (manifoldness), no isolated
+/// vertices, consistent CCW orientation.
+ValidationReport validate(const TriMesh& mesh);
+
+}  // namespace canopus::mesh

@@ -1,0 +1,175 @@
+#include "sim/datasets.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "mesh/generators.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace canopus::sim {
+
+namespace {
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+}
+
+Dataset make_xgc_dataset(const XgcOptions& opt, std::vector<BlobSpec>* blob_truth) {
+  util::Rng rng(opt.seed);
+  Dataset ds;
+  ds.name = "xgc1";
+  ds.variable = "dpot";
+  ds.mesh = mesh::make_annulus_mesh(opt.rings, opt.sectors, opt.r_inner,
+                                    opt.r_outer, opt.jitter, opt.seed ^ 0x5EED);
+  if (opt.shuffled) ds.mesh = mesh::shuffle_vertices(ds.mesh, opt.seed ^ 0xF00D);
+
+  // Blobs develop near the edge of the device (paper: "near the edge of the
+  // detector"): place them in the outer 25% of the annulus, alternating
+  // over/under densities.
+  std::vector<BlobSpec> blobs;
+  for (std::size_t b = 0; b < opt.blob_count; ++b) {
+    const double r = rng.uniform(opt.r_outer * 0.78, opt.r_outer * 0.95);
+    const double theta = rng.uniform(0.0, kTwoPi);
+    BlobSpec spec;
+    spec.center = {r * std::cos(theta), r * std::sin(theta)};
+    // Wide size and amplitude spread: intermittent blob populations span a
+    // range of scales, and the faint small ones are the first to vanish
+    // under decimation (the Fig. 8a effect).
+    spec.radius = opt.blob_radius * rng.uniform(0.35, 1.3);
+    const double sign = (b % 3 == 2) ? -1.0 : 1.0;  // mostly over-densities
+    spec.amplitude = sign * opt.blob_amplitude * rng.uniform(0.15, 1.0);
+    blobs.push_back(spec);
+  }
+
+  // Band-limited turbulence: a few low-order poloidal modes.
+  struct Mode {
+    double m, k, phase, amp;
+  };
+  std::vector<Mode> modes;
+  for (int i = 0; i < 6; ++i) {
+    modes.push_back({static_cast<double>(3 + 2 * i),
+                     rng.uniform(4.0, 14.0),
+                     rng.uniform(0.0, kTwoPi),
+                     opt.turbulence_amplitude * rng.uniform(0.5, 1.0)});
+  }
+
+  ds.values.resize(ds.mesh.vertex_count());
+  for (mesh::VertexId v = 0; v < ds.mesh.vertex_count(); ++v) {
+    const auto p = ds.mesh.vertex(v);
+    const double r = p.norm();
+    const double theta = std::atan2(p.y, p.x);
+    // Smooth radial background: the potential well of the confined plasma.
+    const double x01 = (r - opt.r_inner) / (opt.r_outer - opt.r_inner);
+    double value = opt.background_amplitude * std::sin(std::numbers::pi * x01);
+    for (const auto& m : modes) {
+      value += m.amp * std::sin(m.m * theta + m.phase) *
+               std::sin(m.k * x01) * x01;  // turbulence grows toward the edge
+    }
+    for (const auto& b : blobs) {
+      const double d2 = (p - b.center).norm2();
+      value += b.amplitude * std::exp(-d2 / (2.0 * b.radius * b.radius));
+    }
+    ds.values[v] = value;
+  }
+  if (blob_truth) *blob_truth = std::move(blobs);
+  return ds;
+}
+
+Dataset make_genasis_dataset(const GenasisOptions& opt) {
+  util::Rng rng(opt.seed);
+  Dataset ds;
+  ds.name = "genasis";
+  ds.variable = "normVec";
+  ds.mesh = mesh::make_disk_mesh(opt.rings, opt.sectors, opt.radius,
+                                 opt.jitter, opt.seed ^ 0xACC);
+  if (opt.shuffled) ds.mesh = mesh::shuffle_vertices(ds.mesh, opt.seed ^ 0xF00D);
+
+  // Fine-scale structure is spatially coherent (PDE output, not sensor
+  // noise): a handful of band-limited ripple modes at the `noise` amplitude.
+  struct Mode {
+    double m, k, phase;
+  };
+  std::vector<Mode> ripples;
+  for (int i = 0; i < 8; ++i) {
+    ripples.push_back({std::floor(rng.uniform(2.0, 7.0)),
+                       rng.uniform(3.0, 9.0), rng.uniform(0.0, kTwoPi)});
+  }
+
+  ds.values.resize(ds.mesh.vertex_count());
+  for (mesh::VertexId v = 0; v < ds.mesh.vertex_count(); ++v) {
+    const auto p = ds.mesh.vertex(v);
+    const double r = p.norm();
+    const double theta = std::atan2(p.y, p.x);
+    // Magnetic field magnitude piled up behind a standing accretion shock:
+    // high inside the shock radius, decaying outside, with the SASI's
+    // low-order angular modulation.
+    const double front = 1.0 / (1.0 + std::exp((r - opt.shock_radius) /
+                                               opt.shock_width));
+    const double modulation =
+        1.0 + opt.angular_modulation * std::sin(4.0 * theta) +
+        0.5 * opt.angular_modulation * std::sin(2.0 * theta + 0.9);
+    const double interior = 0.3 + 0.7 * std::tanh(2.0 * r / opt.shock_radius);
+    double ripple = 0.0;
+    for (const auto& m : ripples) {
+      ripple += std::sin(m.m * theta + m.phase) * std::sin(m.k * r);
+    }
+    ds.values[v] = opt.field_peak * front * modulation * interior +
+                   opt.noise * ripple;
+  }
+  return ds;
+}
+
+Dataset make_cfd_dataset(const CfdOptions& opt) {
+  Dataset ds;
+  ds.name = "cfd";
+  ds.variable = "pressure";
+  ds.mesh = mesh::make_airfoil_mesh(opt.nx, opt.ny, opt.width, opt.height,
+                                    opt.body_x, opt.body_y, opt.chord,
+                                    opt.thickness, opt.jitter, opt.seed);
+  if (opt.shuffled) ds.mesh = mesh::shuffle_vertices(ds.mesh, opt.seed ^ 0xF00D);
+  // Potential flow around a cylinder of equivalent radius, mapped onto the
+  // elliptic body: pressure from Bernoulli with the classic cp(theta,r).
+  const double a = 0.5 * std::sqrt(opt.chord * opt.thickness);  // eff. radius
+  ds.values.resize(ds.mesh.vertex_count());
+  for (mesh::VertexId v = 0; v < ds.mesh.vertex_count(); ++v) {
+    const auto p = ds.mesh.vertex(v);
+    // Stretch y by the aspect ratio so the flow hugs the elliptic body.
+    const double sx = (p.x - opt.body_x);
+    const double sy = (p.y - opt.body_y) * (opt.chord / opt.thickness);
+    const double r = std::max(std::sqrt(sx * sx + sy * sy), a * 1.01);
+    const double theta = std::atan2(sy, sx);
+    const double ur = opt.free_stream * (1.0 - (a * a) / (r * r)) * std::cos(theta);
+    const double ut = -opt.free_stream * (1.0 + (a * a) / (r * r)) * std::sin(theta);
+    const double speed2 = ur * ur + ut * ut;
+    // p = p_inf + 1/2 rho (U^2 - |u|^2), rho = 1, p_inf = 1.
+    ds.values[v] = 1.0 + 0.5 * (opt.free_stream * opt.free_stream - speed2);
+  }
+  return ds;
+}
+
+std::vector<Dataset> all_datasets(double scale, std::uint64_t seed) {
+  CANOPUS_CHECK(scale > 0.0, "dataset scale must be positive");
+  const auto scaled = [scale](std::size_t n) {
+    return std::max<std::size_t>(4, static_cast<std::size_t>(
+                                        static_cast<double>(n) * std::sqrt(scale)));
+  };
+  XgcOptions xgc;
+  xgc.rings = scaled(xgc.rings);
+  xgc.sectors = scaled(xgc.sectors);
+  xgc.seed ^= seed;
+  GenasisOptions gen;
+  gen.rings = scaled(gen.rings);
+  gen.sectors = scaled(gen.sectors);
+  gen.seed ^= seed;
+  CfdOptions cfd;
+  cfd.nx = scaled(cfd.nx);
+  cfd.ny = scaled(cfd.ny);
+  cfd.seed ^= seed;
+  std::vector<Dataset> out;
+  out.push_back(make_xgc_dataset(xgc));
+  out.push_back(make_genasis_dataset(gen));
+  out.push_back(make_cfd_dataset(cfd));
+  return out;
+}
+
+}  // namespace canopus::sim

@@ -1,0 +1,99 @@
+#pragma once
+// Synthetic stand-ins for the paper's three evaluation datasets.
+//
+// The original data (XGC1 dpot planes, GenASiS normVec magnitude, a CFD
+// kernel's jet pressure) is not redistributable, so each generator produces
+// a mesh + field with the same structural features the Canopus pipeline and
+// the blob-detection study depend on (see DESIGN.md section 2):
+//
+//   xgc1:    toroidal-plane annulus; smooth radial potential profile,
+//            localized over/under-density "blobs" near the outer edge, plus
+//            band-limited turbulence.
+//   genasis: disk around a collapsed core; steep shock front in the magnetic
+//            field magnitude with angular modulation, very smooth elsewhere.
+//   cfd:     rectangular flow domain with an elliptic body; potential-flow
+//            pressure with a stagnation point and gradients concentrated at
+//            the body/airflow interface.
+//
+// All generators are deterministic in their seed.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mesh/tri_mesh.hpp"
+
+namespace canopus::sim {
+
+struct Dataset {
+  std::string name;      // "xgc1", "genasis", "cfd"
+  std::string variable;  // "dpot", "normVec", "pressure"
+  mesh::TriMesh mesh;
+  mesh::Field values;
+};
+
+/// Ground-truth blob description (XGC1 only), for validating detection.
+struct BlobSpec {
+  mesh::Vec2 center;
+  double radius = 0.0;
+  double amplitude = 0.0;  // signed: over- or under-density
+};
+
+struct XgcOptions {
+  std::size_t rings = 64;
+  std::size_t sectors = 320;     // ~20.5k vertices, ~41k triangles (paper's plane)
+  double r_inner = 0.3;
+  double r_outer = 1.0;
+  std::size_t blob_count = 24;
+  double blob_amplitude = 1.0;   // peak |dpot| of a blob
+  double blob_radius = 0.055;    // spatial sigma
+  /// dpot is a *deviation* from the background potential, so the residual
+  /// smooth profile is small relative to the blobs.
+  double background_amplitude = 0.08;
+  double turbulence_amplitude = 0.05;
+  double jitter = 0.12;
+  /// Renumber vertices randomly to model production unstructured-mesh
+  /// numbering (see mesh::shuffle_vertices).
+  bool shuffled = true;
+  std::uint64_t seed = 2017;
+};
+
+struct GenasisOptions {
+  std::size_t rings = 128;
+  std::size_t sectors = 510;     // ~130k triangles (paper's mesh)
+  double radius = 1.0;
+  double shock_radius = 0.45;
+  double shock_width = 0.06;  // a few cells wide: the solver resolves it
+  double field_peak = 3.0;
+  double angular_modulation = 0.3;
+  double noise = 0.002;
+  double jitter = 0.1;
+  bool shuffled = true;
+  std::uint64_t seed = 1987;
+};
+
+struct CfdOptions {
+  std::size_t nx = 100;
+  std::size_t ny = 64;           // ~12.6k triangles after the cutout
+  double width = 10.0;
+  double height = 6.0;
+  double body_x = 3.5;
+  double body_y = 3.0;
+  double chord = 2.2;
+  double thickness = 0.8;
+  double free_stream = 1.0;      // U_inf
+  double jitter = 0.1;
+  bool shuffled = true;
+  std::uint64_t seed = 1903;
+};
+
+Dataset make_xgc_dataset(const XgcOptions& opt = {},
+                         std::vector<BlobSpec>* blob_truth = nullptr);
+Dataset make_genasis_dataset(const GenasisOptions& opt = {});
+Dataset make_cfd_dataset(const CfdOptions& opt = {});
+
+/// Convenience: the three datasets at a size scale factor (1.0 = paper-sized
+/// meshes; benches use smaller scales for quick runs).
+std::vector<Dataset> all_datasets(double scale = 1.0, std::uint64_t seed = 7);
+
+}  // namespace canopus::sim

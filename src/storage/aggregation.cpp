@@ -1,0 +1,53 @@
+#include "storage/aggregation.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace canopus::storage {
+
+double aggregate_write_seconds(const AggregationModel& model,
+                               const TierSpec& tier, std::size_t total_bytes) {
+  CANOPUS_CHECK(model.writers >= 1 && model.aggregators >= 1 &&
+                    model.storage_targets >= 1,
+                "aggregation model counts must be >= 1");
+  CANOPUS_CHECK(model.aggregators <= model.writers,
+                "cannot have more aggregators than writers");
+  const double total = static_cast<double>(total_bytes);
+  const double a = static_cast<double>(model.aggregators);
+
+  // Gather: each aggregator's inbound link carries total/A bytes; each of
+  // the ~P/A senders pays one message latency (they overlap across
+  // aggregators but serialize per link).
+  const double senders_per_agg =
+      static_cast<double>(model.writers) / a;
+  const double gather = senders_per_agg * model.interconnect_latency +
+                        (total / a) / model.interconnect_bandwidth;
+
+  // Flush: min(A, T) concurrent streams; extra aggregators contend.
+  const double streams =
+      static_cast<double>(std::min(model.aggregators, model.storage_targets));
+  const double excess =
+      a > streams ? (a - streams) * model.contention_penalty : 0.0;
+  const double effective_bw = tier.write_bandwidth * streams / (1.0 + excess);
+  const double flush = tier.write_latency * (a / streams) +
+                       total / effective_bw;
+  return gather + flush;
+}
+
+std::size_t best_aggregator_count(AggregationModel model, const TierSpec& tier,
+                                  std::size_t total_bytes) {
+  std::size_t best = 1;
+  double best_time = 1e300;
+  for (std::size_t a = 1; a <= model.writers; a *= 2) {
+    model.aggregators = a;
+    const double t = aggregate_write_seconds(model, tier, total_bytes);
+    if (t < best_time) {
+      best_time = t;
+      best = a;
+    }
+  }
+  return best;
+}
+
+}  // namespace canopus::storage

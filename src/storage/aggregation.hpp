@@ -1,0 +1,44 @@
+#pragma once
+// Write-aggregation cost model, after ADIOS' MPI_AGGREGATE transport
+// (Fig. 2 of the paper lists it as one of the transports Canopus rides on).
+//
+// P writer processes funnel their shards through A aggregator processes,
+// which issue large sequential writes to T storage targets. Two stages:
+//
+//   gather: every aggregator receives total/A bytes over the interconnect
+//           (writers send concurrently, aggregator inbound link is the
+//           bottleneck);
+//   flush:  min(A, T) concurrent streams share the tier; aggregators beyond
+//           the target count contend instead of adding bandwidth.
+//
+// The sweet spot the model reproduces: too few aggregators waste target
+// parallelism, too many fragment writes and add gather latency — the classic
+// aggregator-tuning curve on Lustre.
+
+#include <cstddef>
+
+#include "storage/tier.hpp"
+
+namespace canopus::storage {
+
+struct AggregationModel {
+  std::size_t writers = 1;
+  std::size_t aggregators = 1;
+  std::size_t storage_targets = 1;
+  double interconnect_bandwidth = 5e9;  // bytes/s per aggregator inbound link
+  double interconnect_latency = 5e-6;   // per message
+  /// Fractional throughput loss per aggregator contending beyond the target
+  /// count (lock/stripe contention).
+  double contention_penalty = 0.03;
+};
+
+/// Seconds to write `total_bytes` (spread evenly over the writers) onto a
+/// tier with this aggregation layout.
+double aggregate_write_seconds(const AggregationModel& model,
+                               const TierSpec& tier, std::size_t total_bytes);
+
+/// Aggregator count in [1, writers] minimizing the model's write time.
+std::size_t best_aggregator_count(AggregationModel model, const TierSpec& tier,
+                                  std::size_t total_bytes);
+
+}  // namespace canopus::storage

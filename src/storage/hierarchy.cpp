@@ -1,0 +1,135 @@
+#include "storage/hierarchy.hpp"
+
+#include "util/assert.hpp"
+
+namespace canopus::storage {
+
+StorageHierarchy::StorageHierarchy(std::vector<TierSpec> specs,
+                                   PlacementPolicy policy)
+    : policy_(policy) {
+  CANOPUS_CHECK(!specs.empty(), "hierarchy needs at least one tier");
+  tiers_.reserve(specs.size());
+  for (auto& s : specs) {
+    tiers_.push_back(std::make_unique<StorageTier>(std::move(s)));
+  }
+}
+
+std::optional<std::size_t> StorageHierarchy::choose_tier(std::size_t nbytes) const {
+  switch (policy_) {
+    case PlacementPolicy::kFastestFit:
+      for (std::size_t i = 0; i < tiers_.size(); ++i) {
+        if (tiers_[i]->fits(nbytes)) return i;
+      }
+      return std::nullopt;
+    case PlacementPolicy::kSlowestOnly:
+      return tiers_.back()->fits(nbytes)
+                 ? std::optional<std::size_t>(tiers_.size() - 1)
+                 : std::nullopt;
+    case PlacementPolicy::kRoundRobin: {
+      for (std::size_t probe = 0; probe < tiers_.size(); ++probe) {
+        const std::size_t i = (round_robin_next_ + probe) % tiers_.size();
+        if (tiers_[i]->fits(nbytes)) {
+          round_robin_next_ = (i + 1) % tiers_.size();
+          return i;
+        }
+      }
+      return std::nullopt;
+    }
+  }
+  CANOPUS_UNREACHABLE("unknown placement policy");
+}
+
+std::pair<std::size_t, IoResult> StorageHierarchy::place(const std::string& key,
+                                                         util::BytesView data) {
+  erase(key);  // replacing an object must not leak capacity on another tier
+  const auto choice = choose_tier(data.size());
+  CANOPUS_CHECK(choice.has_value(),
+                "no tier can hold '" + key + "' (" +
+                    std::to_string(data.size()) + " bytes)");
+  touch(key);
+  return {*choice, tiers_[*choice]->write(key, data)};
+}
+
+IoResult StorageHierarchy::write_to(std::size_t tier_index, const std::string& key,
+                                    util::BytesView data) {
+  CANOPUS_ASSERT(tier_index < tiers_.size());
+  erase(key);
+  touch(key);
+  return tiers_[tier_index]->write(key, data);
+}
+
+IoResult StorageHierarchy::read(const std::string& key, util::Bytes& out) const {
+  const auto where = find(key);
+  CANOPUS_CHECK(where.has_value(), "object '" + key + "' not in hierarchy");
+  touch(key);
+  return tiers_[*where]->read(key, out);
+}
+
+std::optional<std::size_t> StorageHierarchy::find(const std::string& key) const {
+  for (std::size_t i = 0; i < tiers_.size(); ++i) {
+    if (tiers_[i]->contains(key)) return i;
+  }
+  return std::nullopt;
+}
+
+void StorageHierarchy::erase(const std::string& key) {
+  for (auto& t : tiers_) t->erase(key);
+  last_access_.erase(key);
+}
+
+void StorageHierarchy::touch(const std::string& key) const {
+  last_access_[key] = ++access_clock_;
+}
+
+IoResult StorageHierarchy::migrate(const std::string& key, std::size_t to_tier) {
+  CANOPUS_ASSERT(to_tier < tiers_.size());
+  const auto from = find(key);
+  CANOPUS_CHECK(from.has_value(), "migrate: object '" + key + "' not found");
+  if (*from == to_tier) return IoResult{};
+  util::Bytes data;
+  const auto read_io = tiers_[*from]->read(key, data);
+  const auto write_io = tiers_[to_tier]->write(key, data);
+  tiers_[*from]->erase(key);
+  touch(key);
+  return IoResult{read_io.sim_seconds + write_io.sim_seconds,
+                  read_io.wall_seconds + write_io.wall_seconds, data.size()};
+}
+
+std::vector<std::string> StorageHierarchy::make_room(std::size_t tier,
+                                                     std::size_t bytes) {
+  CANOPUS_ASSERT(tier < tiers_.size());
+  std::vector<std::string> evicted;
+  while (tiers_[tier]->free_bytes() < bytes) {
+    // Pick the least-recently-used object on this tier (objects never read
+    // or written through the tracked paths count as oldest).
+    std::string victim;
+    std::uint64_t victim_stamp = ~std::uint64_t{0};
+    for (const auto& [key, stamp] : last_access_) {
+      if (tiers_[tier]->contains(key) && stamp < victim_stamp) {
+        victim = key;
+        victim_stamp = stamp;
+      }
+    }
+    if (victim.empty()) {
+      // Fall back to any object on the tier (untracked keys).
+      // Tiers do not expose iteration; treat as unsatisfiable.
+      throw Error("make_room: cannot free " + std::to_string(bytes) +
+                  " bytes on tier '" + tiers_[tier]->spec().name + "'");
+    }
+    // Demote to the first lower tier that fits.
+    const std::size_t size = tiers_[tier]->object_size(victim);
+    bool moved = false;
+    for (std::size_t lower = tier + 1; lower < tiers_.size(); ++lower) {
+      if (tiers_[lower]->fits(size)) {
+        migrate(victim, lower);
+        moved = true;
+        break;
+      }
+    }
+    CANOPUS_CHECK(moved, "make_room: no lower tier can absorb '" + victim + "'");
+    evicted.push_back(victim);
+  }
+  return evicted;
+}
+
+}  // namespace canopus::storage

@@ -1,0 +1,82 @@
+#pragma once
+// Multi-tier storage hierarchy with Canopus' placement policy.
+//
+// Tiers are ordered fastest-first (the pyramid of Fig. 1). Placement walks
+// the stack top-down and puts each object on the fastest tier that still has
+// room — a tier without sufficient capacity is bypassed and the next one
+// selected, exactly as Section III-D describes. The hierarchy remembers
+// which tier holds each object so retrieval is a single lookup.
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "storage/tier.hpp"
+
+namespace canopus::storage {
+
+enum class PlacementPolicy : std::uint8_t {
+  kFastestFit,   // paper default: fastest tier with room, bypass when full
+  kSlowestOnly,  // everything on the last tier (the "no hierarchy" baseline)
+  kRoundRobin,   // stripe objects across tiers (ablation)
+};
+
+class StorageHierarchy {
+ public:
+  /// Builds a hierarchy from fastest to slowest.
+  explicit StorageHierarchy(std::vector<TierSpec> specs,
+                            PlacementPolicy policy = PlacementPolicy::kFastestFit);
+
+  std::size_t tier_count() const { return tiers_.size(); }
+  StorageTier& tier(std::size_t i) { return *tiers_[i]; }
+  const StorageTier& tier(std::size_t i) const { return *tiers_[i]; }
+
+  /// Index of the tier the policy would choose for an object of this size,
+  /// or nullopt when nothing fits.
+  std::optional<std::size_t> choose_tier(std::size_t nbytes) const;
+
+  /// Places and writes an object; returns (tier index, io result).
+  /// Throws Error when no tier can hold it.
+  std::pair<std::size_t, IoResult> place(const std::string& key,
+                                         util::BytesView data);
+
+  /// Writes to an explicit tier (used when a placement plan is precomputed).
+  IoResult write_to(std::size_t tier_index, const std::string& key,
+                    util::BytesView data);
+
+  /// Reads an object from whichever tier holds it.
+  IoResult read(const std::string& key, util::Bytes& out) const;
+
+  /// Tier currently holding the object, or nullopt.
+  std::optional<std::size_t> find(const std::string& key) const;
+
+  void erase(const std::string& key);
+
+  // --- Migration & eviction (Section IV-B: "data migration and eviction
+  // will play an integral part"). ----------------------------------------
+
+  /// Moves an object to another tier; returns the read+write cost. No-op
+  /// (zero cost) when the object already lives there. Throws when the
+  /// object is missing or the target lacks capacity.
+  IoResult migrate(const std::string& key, std::size_t to_tier);
+
+  /// Demotes least-recently-used objects from `tier` to slower tiers until
+  /// at least `bytes` are free there. Returns the demoted keys in eviction
+  /// order. Throws Error when even full demotion cannot free enough space
+  /// (e.g. lower tiers are full too).
+  std::vector<std::string> make_room(std::size_t tier, std::size_t bytes);
+
+ private:
+  void touch(const std::string& key) const;
+
+  std::vector<std::unique_ptr<StorageTier>> tiers_;
+  PlacementPolicy policy_;
+  mutable std::size_t round_robin_next_ = 0;
+  // LRU bookkeeping: monotone clock, last-access stamp per key.
+  mutable std::uint64_t access_clock_ = 0;
+  mutable std::map<std::string, std::uint64_t> last_access_;
+};
+
+}  // namespace canopus::storage

@@ -1,0 +1,126 @@
+#include "storage/tier.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "util/assert.hpp"
+#include "util/timer.hpp"
+
+namespace canopus::storage {
+
+namespace fs = std::filesystem;
+
+StorageTier::StorageTier(TierSpec spec) : spec_(std::move(spec)) {
+  CANOPUS_CHECK(spec_.read_bandwidth > 0 && spec_.write_bandwidth > 0,
+                "tier bandwidth must be positive");
+  if (spec_.backend == Backend::kFile) {
+    CANOPUS_CHECK(!spec_.root_dir.empty(), "file tier needs root_dir");
+    fs::create_directories(spec_.root_dir);
+  }
+}
+
+std::string StorageTier::path_for(const std::string& key) const {
+  std::string sanitized = key;
+  for (char& c : sanitized) {
+    if (c == '/' || c == '\\') c = '_';
+  }
+  return (fs::path(spec_.root_dir) / sanitized).string();
+}
+
+IoResult StorageTier::write(const std::string& key, util::BytesView data) {
+  const std::size_t existing = contains(key) ? object_size(key) : 0;
+  CANOPUS_CHECK(used_ - existing + data.size() <= spec_.capacity_bytes,
+                "tier '" + spec_.name + "' over capacity");
+  util::WallTimer timer;
+  if (spec_.backend == Backend::kMemory) {
+    memory_[key] = util::Bytes(data.begin(), data.end());
+  } else {
+    std::ofstream f(path_for(key), std::ios::binary | std::ios::trunc);
+    CANOPUS_CHECK(f.good(), "cannot open " + path_for(key));
+    f.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+    CANOPUS_CHECK(f.good(), "write failed: " + path_for(key));
+    file_sizes_[key] = data.size();
+  }
+  used_ = used_ - existing + data.size();
+  return IoResult{write_cost(data.size()), timer.seconds(), data.size()};
+}
+
+IoResult StorageTier::read(const std::string& key, util::Bytes& out) const {
+  util::WallTimer timer;
+  if (spec_.backend == Backend::kMemory) {
+    auto it = memory_.find(key);
+    CANOPUS_CHECK(it != memory_.end(),
+                  "object '" + key + "' not on tier '" + spec_.name + "'");
+    out = it->second;
+  } else {
+    auto it = file_sizes_.find(key);
+    CANOPUS_CHECK(it != file_sizes_.end(),
+                  "object '" + key + "' not on tier '" + spec_.name + "'");
+    std::ifstream f(path_for(key), std::ios::binary);
+    CANOPUS_CHECK(f.good(), "cannot open " + path_for(key));
+    out.resize(it->second);
+    f.read(reinterpret_cast<char*>(out.data()),
+           static_cast<std::streamsize>(out.size()));
+    CANOPUS_CHECK(f.good(), "read failed: " + path_for(key));
+  }
+  return IoResult{read_cost(out.size()), timer.seconds(), out.size()};
+}
+
+bool StorageTier::contains(const std::string& key) const {
+  return spec_.backend == Backend::kMemory ? memory_.count(key) > 0
+                                           : file_sizes_.count(key) > 0;
+}
+
+std::size_t StorageTier::object_size(const std::string& key) const {
+  if (spec_.backend == Backend::kMemory) {
+    auto it = memory_.find(key);
+    CANOPUS_CHECK(it != memory_.end(), "object '" + key + "' not found");
+    return it->second.size();
+  }
+  auto it = file_sizes_.find(key);
+  CANOPUS_CHECK(it != file_sizes_.end(), "object '" + key + "' not found");
+  return it->second;
+}
+
+void StorageTier::erase(const std::string& key) {
+  if (!contains(key)) return;
+  used_ -= object_size(key);
+  if (spec_.backend == Backend::kMemory) {
+    memory_.erase(key);
+  } else {
+    fs::remove(path_for(key));
+    file_sizes_.erase(key);
+  }
+}
+
+// Preset envelopes. Bandwidths/latencies are order-of-magnitude figures for
+// the technologies the paper names (Section I / Figure 2); the benches only
+// rely on the *relative* gaps between tiers.
+TierSpec tmpfs_spec(std::size_t capacity_bytes) {
+  return TierSpec{"tmpfs", capacity_bytes, 8e9, 6e9, 2e-6, 2e-6,
+                  Backend::kMemory, ""};
+}
+TierSpec nvram_spec(std::size_t capacity_bytes) {
+  return TierSpec{"nvram", capacity_bytes, 5e9, 2e9, 1e-5, 3e-5,
+                  Backend::kMemory, ""};
+}
+TierSpec ssd_spec(std::size_t capacity_bytes) {
+  return TierSpec{"ssd", capacity_bytes, 2e9, 1e9, 1e-4, 1e-4,
+                  Backend::kMemory, ""};
+}
+TierSpec burst_buffer_spec(std::size_t capacity_bytes) {
+  return TierSpec{"burst-buffer", capacity_bytes, 1.5e9, 1.2e9, 5e-4, 5e-4,
+                  Backend::kMemory, ""};
+}
+TierSpec lustre_spec(std::size_t capacity_bytes) {
+  // Per-client Lustre stream: high latency, modest bandwidth.
+  return TierSpec{"lustre", capacity_bytes, 3e8, 2.5e8, 5e-3, 8e-3,
+                  Backend::kMemory, ""};
+}
+TierSpec campaign_spec(std::size_t capacity_bytes) {
+  return TierSpec{"campaign", capacity_bytes, 5e7, 4e7, 5e-2, 8e-2,
+                  Backend::kMemory, ""};
+}
+
+}  // namespace canopus::storage

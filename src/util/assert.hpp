@@ -1,0 +1,41 @@
+#pragma once
+// Contract-checking macros in the spirit of the Core Guidelines' Expects/Ensures.
+//
+// CANOPUS_ASSERT(cond)        - programming-error contract; aborts in all builds.
+// CANOPUS_CHECK(cond, msg)    - recoverable runtime condition; throws canopus::Error.
+// CANOPUS_UNREACHABLE(msg)    - marks impossible control flow.
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace canopus {
+
+/// Exception type thrown for recoverable runtime failures (bad input, I/O
+/// errors, corrupt streams). Programming errors use CANOPUS_ASSERT instead.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "canopus: assertion `%s` failed at %s:%d\n", expr, file, line);
+  std::abort();
+}
+}  // namespace detail
+
+}  // namespace canopus
+
+#define CANOPUS_ASSERT(cond)                                            \
+  do {                                                                  \
+    if (!(cond)) ::canopus::detail::assert_fail(#cond, __FILE__, __LINE__); \
+  } while (0)
+
+#define CANOPUS_CHECK(cond, msg)                      \
+  do {                                                \
+    if (!(cond)) throw ::canopus::Error(msg);         \
+  } while (0)
+
+#define CANOPUS_UNREACHABLE(msg) ::canopus::detail::assert_fail(msg, __FILE__, __LINE__)

@@ -1,0 +1,118 @@
+#pragma once
+// Bit-granular I/O used by the entropy coders and the ZFP-like bit-plane codec.
+//
+// Bits are packed LSB-first within each 64-bit word; the writer flushes whole
+// words into a byte vector. The reader mirrors the layout and throws on
+// overrun.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/byte_buffer.hpp"
+
+namespace canopus::util {
+
+class BitWriter {
+ public:
+  /// Appends the low `nbits` bits of `value` (0 <= nbits <= 64).
+  void write_bits(std::uint64_t value, unsigned nbits) {
+    CANOPUS_ASSERT(nbits <= 64);
+    if (nbits == 0) return;
+    if (nbits < 64) value &= (1ull << nbits) - 1;
+    acc_ |= value << fill_;
+    if (fill_ + nbits >= 64) {
+      words_.push_back(acc_);
+      const unsigned consumed = 64 - fill_;
+      acc_ = (consumed < 64) ? value >> consumed : 0;
+      fill_ = fill_ + nbits - 64;
+    } else {
+      fill_ += nbits;
+    }
+  }
+
+  void write_bit(bool b) { write_bits(b ? 1u : 0u, 1); }
+
+  /// Elias-gamma-style unary+binary code for small non-negative integers.
+  void write_unary(std::uint32_t n) {
+    while (n >= 32) {
+      write_bits(0, 32);
+      n -= 32;
+    }
+    write_bits(1ull << n, n + 1);
+  }
+
+  std::size_t bit_count() const { return words_.size() * 64 + fill_; }
+
+  /// Finalizes and returns the packed bytes (pads the tail word with zeros).
+  Bytes finish() {
+    if (fill_ > 0) {
+      words_.push_back(acc_);
+      acc_ = 0;
+      fill_ = 0;
+    }
+    Bytes out(words_.size() * sizeof(std::uint64_t));
+    std::memcpy(out.data(), words_.data(), out.size());
+    words_.clear();
+    return out;
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::uint64_t acc_ = 0;
+  unsigned fill_ = 0;  // bits currently in acc_
+};
+
+class BitReader {
+ public:
+  explicit BitReader(BytesView bytes) : bytes_(bytes) {}
+
+  std::uint64_t read_bits(unsigned nbits) {
+    CANOPUS_ASSERT(nbits <= 64);
+    if (nbits == 0) return 0;
+    std::uint64_t out = 0;
+    unsigned got = 0;
+    while (got < nbits) {
+      if (fill_ == 0) refill();
+      const unsigned take = std::min(nbits - got, fill_);
+      const std::uint64_t mask = (take < 64) ? ((1ull << take) - 1) : ~0ull;
+      out |= (acc_ & mask) << got;
+      acc_ >>= take;
+      fill_ -= take;
+      got += take;
+    }
+    return out;
+  }
+
+  bool read_bit() { return read_bits(1) != 0; }
+
+  std::uint32_t read_unary() {
+    std::uint32_t n = 0;
+    while (!read_bit()) {
+      ++n;
+      CANOPUS_CHECK(n < (1u << 24), "unary code runaway");
+    }
+    return n;
+  }
+
+  /// Number of whole bits consumed so far.
+  std::size_t bits_consumed() const { return word_index_ * 64 - fill_; }
+
+ private:
+  void refill() {
+    const std::size_t byte_off = word_index_ * sizeof(std::uint64_t);
+    CANOPUS_CHECK(byte_off < bytes_.size(), "bit stream exhausted");
+    const std::size_t avail = std::min(sizeof(std::uint64_t), bytes_.size() - byte_off);
+    acc_ = 0;
+    std::memcpy(&acc_, bytes_.data() + byte_off, avail);
+    fill_ = 64;  // trailing pad bits read as zero, callers track logical length
+    ++word_index_;
+  }
+
+  BytesView bytes_;
+  std::uint64_t acc_ = 0;
+  unsigned fill_ = 0;
+  std::size_t word_index_ = 0;
+};
+
+}  // namespace canopus::util

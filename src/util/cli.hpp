@@ -1,0 +1,32 @@
+#pragma once
+// Minimal --flag=value parser for the bench and example executables.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace canopus::util {
+
+class Cli {
+ public:
+  /// Parses `--name=value` and bare `--name` (=> "1") arguments; anything not
+  /// starting with `--` is kept as a positional argument.
+  Cli(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const { return flags_.count(name) > 0; }
+  std::string get(const std::string& name, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace canopus::util

@@ -1,0 +1,107 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace canopus::util {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double d = x - mean_;
+  mean_ += d / static_cast<double>(n_);
+  m2_ += d * (x - mean_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double rmse(std::span<const double> a, std::span<const double> b) {
+  CANOPUS_ASSERT(a.size() == b.size());
+  if (a.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(a.size()));
+}
+
+double nrmse(std::span<const double> a, std::span<const double> b) {
+  if (a.empty()) return 0.0;
+  const auto [lo, hi] = std::minmax_element(a.begin(), a.end());
+  const double range = *hi - *lo;
+  const double e = rmse(a, b);
+  return range > 0.0 ? e / range : e;
+}
+
+double psnr(std::span<const double> a, std::span<const double> b) {
+  if (a.empty()) return 0.0;
+  const auto [lo, hi] = std::minmax_element(a.begin(), a.end());
+  const double range = *hi - *lo;
+  const double e = rmse(a, b);
+  if (e == 0.0) return std::numeric_limits<double>::infinity();
+  if (range == 0.0) return -std::numeric_limits<double>::infinity();
+  return 20.0 * std::log10(range / e);
+}
+
+double max_abs_error(std::span<const double> a, std::span<const double> b) {
+  CANOPUS_ASSERT(a.size() == b.size());
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(a[i] - b[i]));
+  }
+  return m;
+}
+
+double total_variation(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    acc += std::abs(xs[i] - xs[i - 1]);
+  }
+  return acc / static_cast<double>(xs.size() - 1);
+}
+
+double lag1_autocorrelation(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  RunningStats st;
+  st.add(xs);
+  const double mu = st.mean();
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double d = xs[i] - mu;
+    den += d * d;
+    if (i + 1 < xs.size()) num += d * (xs[i + 1] - mu);
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+Histogram histogram(std::span<const double> xs, std::size_t nbins) {
+  CANOPUS_ASSERT(nbins > 0);
+  Histogram h;
+  h.bins.assign(nbins, 0);
+  if (xs.empty()) return h;
+  const auto [lo, hi] = std::minmax_element(xs.begin(), xs.end());
+  h.lo = *lo;
+  h.hi = *hi;
+  const double width = h.hi - h.lo;
+  for (double x : xs) {
+    std::size_t bin = 0;
+    if (width > 0.0) {
+      bin = static_cast<std::size_t>((x - h.lo) / width * static_cast<double>(nbins));
+      bin = std::min(bin, nbins - 1);
+    }
+    ++h.bins[bin];
+  }
+  return h;
+}
+
+}  // namespace canopus::util

@@ -1,0 +1,65 @@
+#pragma once
+// Descriptive statistics and signal-smoothness measures.
+//
+// The smoothness measures back the paper's central observation that deltas
+// between adjacent decimation levels are smoother (less variable) than the
+// level data itself, which is why compressing deltas wins (Fig. 4/5).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace canopus::util {
+
+/// Single-pass running mean/variance/min/max (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  void add(std::span<const double> xs) {
+    for (double x : xs) add(x);
+  }
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Root-mean-square error between two equal-length signals.
+double rmse(std::span<const double> a, std::span<const double> b);
+
+/// RMSE normalized by the value range of `a` (0 if `a` is constant & equal).
+double nrmse(std::span<const double> a, std::span<const double> b);
+
+/// Peak signal-to-noise ratio in dB with `a` as the reference.
+double psnr(std::span<const double> a, std::span<const double> b);
+
+/// Largest absolute pointwise difference.
+double max_abs_error(std::span<const double> a, std::span<const double> b);
+
+/// Mean absolute successive difference — the primary smoothness proxy.
+/// Smaller means smoother; deltas should score lower than raw levels.
+double total_variation(std::span<const double> xs);
+
+/// Lag-1 autocorrelation coefficient in [-1, 1]; near 1 means smooth.
+double lag1_autocorrelation(std::span<const double> xs);
+
+/// Fixed-width histogram over [min, max] of the data.
+struct Histogram {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::vector<std::size_t> bins;
+};
+Histogram histogram(std::span<const double> xs, std::size_t nbins);
+
+}  // namespace canopus::util

@@ -1,0 +1,36 @@
+#pragma once
+// Console/CSV table printer used by every bench binary to emit the paper's
+// rows and series in a uniform, diff-friendly format.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace canopus::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  /// Appends a row; must match the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 4);
+  static std::string pct(double fraction, int precision = 1);
+
+  /// Pretty-prints with aligned columns.
+  void print(std::ostream& os, const std::string& title = "") const;
+
+  /// Comma-separated with header row.
+  void write_csv(std::ostream& os) const;
+  void save_csv(const std::string& path) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace canopus::util

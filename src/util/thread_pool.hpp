@@ -1,0 +1,63 @@
+#pragma once
+// Fixed-size worker pool with a blocking task queue and a parallel_for helper.
+//
+// Canopus' refactoring is embarrassingly parallel across mesh partitions
+// (planes, chunks); this pool is the single place where that parallelism is
+// expressed, so benches can pin the worker count to model different
+// compute allocations.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace canopus::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (defaults to hardware concurrency, minimum 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task and returns a future for its completion.
+  template <typename F>
+  std::future<void> submit(F&& fn) {
+    auto task = std::make_shared<std::packaged_task<void()>>(std::forward<F>(fn));
+    auto fut = task->get_future();
+    {
+      std::lock_guard lock(mu_);
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Splits [begin, end) into ~2x-oversubscribed chunks and runs
+  /// fn(chunk_begin, chunk_end) on the pool, blocking until all complete.
+  /// Exceptions from workers propagate to the caller (first one wins).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// Global pool shared by library internals; sized to hardware concurrency.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace canopus::util

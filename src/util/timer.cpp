@@ -1,0 +1,27 @@
+#include "util/timer.hpp"
+
+namespace canopus::util {
+
+void PhaseTimer::add(const std::string& phase, double seconds) {
+  auto [it, inserted] = seconds_.try_emplace(phase, 0.0);
+  if (inserted) order_.push_back(phase);
+  it->second += seconds;
+}
+
+double PhaseTimer::get(const std::string& phase) const {
+  auto it = seconds_.find(phase);
+  return it == seconds_.end() ? 0.0 : it->second;
+}
+
+double PhaseTimer::total() const {
+  double t = 0.0;
+  for (const auto& [_, s] : seconds_) t += s;
+  return t;
+}
+
+void PhaseTimer::clear() {
+  seconds_.clear();
+  order_.clear();
+}
+
+}  // namespace canopus::util

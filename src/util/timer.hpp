@@ -1,0 +1,56 @@
+#pragma once
+// Wall-clock timing plus a named-phase accumulator used by the benches to
+// report the paper's per-phase breakdowns (decimation / delta+compress / I/O;
+// I/O / decompression / restoration / blob detection).
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace canopus::util {
+
+/// Monotonic stopwatch returning elapsed seconds.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+  void reset() { start_ = Clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates (wall + simulated) seconds into named phases, preserving
+/// insertion order so tables print phases in pipeline order.
+class PhaseTimer {
+ public:
+  /// Adds `seconds` to the named phase (creates it on first use).
+  void add(const std::string& phase, double seconds);
+
+  /// Runs fn and charges its wall time to `phase`; returns fn's wall time.
+  template <typename F>
+  double time(const std::string& phase, F&& fn) {
+    WallTimer t;
+    fn();
+    const double s = t.seconds();
+    add(phase, s);
+    return s;
+  }
+
+  double get(const std::string& phase) const;
+  double total() const;
+  void clear();
+
+  /// Phases in first-use order.
+  const std::vector<std::string>& phases() const { return order_; }
+
+ private:
+  std::map<std::string, double> seconds_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace canopus::util

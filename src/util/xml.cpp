@@ -1,0 +1,186 @@
+#include "util/xml.hpp"
+
+#include <cctype>
+
+#include "util/assert.hpp"
+
+namespace canopus::util {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  std::unique_ptr<XmlNode> parse_document() {
+    skip_misc();
+    auto root = parse_element();
+    skip_misc();
+    CANOPUS_CHECK(pos_ == s_.size(), "xml: trailing content after root element");
+    return root;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw Error("xml: " + why + " at offset " + std::to_string(pos_));
+  }
+
+  bool eof() const { return pos_ >= s_.size(); }
+  char peek() const { return eof() ? '\0' : s_[pos_]; }
+  bool starts_with(const char* prefix) const {
+    return s_.compare(pos_, std::char_traits<char>::length(prefix), prefix) == 0;
+  }
+
+  void skip_ws() {
+    while (!eof() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+
+  /// Whitespace, comments, and an optional <?xml ...?> declaration.
+  void skip_misc() {
+    for (;;) {
+      skip_ws();
+      if (starts_with("<!--")) {
+        const auto end = s_.find("-->", pos_ + 4);
+        if (end == std::string::npos) fail("unterminated comment");
+        pos_ = end + 3;
+      } else if (starts_with("<?")) {
+        const auto end = s_.find("?>", pos_ + 2);
+        if (end == std::string::npos) fail("unterminated declaration");
+        pos_ = end + 2;
+      } else {
+        return;
+      }
+    }
+  }
+
+  static bool name_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '_' ||
+           c == ':' || c == '.';
+  }
+
+  std::string parse_name() {
+    const auto start = pos_;
+    while (!eof() && name_char(s_[pos_])) ++pos_;
+    if (pos_ == start) fail("expected a name");
+    return s_.substr(start, pos_ - start);
+  }
+
+  std::string decode_entities(const std::string& raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] != '&') {
+        out.push_back(raw[i]);
+        continue;
+      }
+      const auto semi = raw.find(';', i);
+      if (semi == std::string::npos) fail("unterminated entity");
+      const auto entity = raw.substr(i + 1, semi - i - 1);
+      if (entity == "lt") out.push_back('<');
+      else if (entity == "gt") out.push_back('>');
+      else if (entity == "amp") out.push_back('&');
+      else if (entity == "quot") out.push_back('"');
+      else if (entity == "apos") out.push_back('\'');
+      else fail("unknown entity &" + entity + ";");
+      i = semi;
+    }
+    return out;
+  }
+
+  std::unique_ptr<XmlNode> parse_element() {
+    if (peek() != '<') fail("expected '<'");
+    ++pos_;
+    auto node = std::make_unique<XmlNode>();
+    node->name = parse_name();
+
+    // Attributes.
+    for (;;) {
+      skip_ws();
+      if (starts_with("/>")) {
+        pos_ += 2;
+        return node;
+      }
+      if (peek() == '>') {
+        ++pos_;
+        break;
+      }
+      const auto key = parse_name();
+      skip_ws();
+      if (peek() != '=') fail("expected '=' after attribute name");
+      ++pos_;
+      skip_ws();
+      const char quote = peek();
+      if (quote != '"' && quote != '\'') fail("expected quoted attribute value");
+      ++pos_;
+      const auto end = s_.find(quote, pos_);
+      if (end == std::string::npos) fail("unterminated attribute value");
+      node->attributes[key] = decode_entities(s_.substr(pos_, end - pos_));
+      pos_ = end + 1;
+    }
+
+    // Content until the matching close tag.
+    for (;;) {
+      if (eof()) fail("unterminated element <" + node->name + ">");
+      if (starts_with("<!--")) {
+        const auto end = s_.find("-->", pos_ + 4);
+        if (end == std::string::npos) fail("unterminated comment");
+        pos_ = end + 3;
+      } else if (starts_with("</")) {
+        pos_ += 2;
+        const auto close = parse_name();
+        if (close != node->name) {
+          fail("mismatched close tag </" + close + "> for <" + node->name + ">");
+        }
+        skip_ws();
+        if (peek() != '>') fail("malformed close tag");
+        ++pos_;
+        return node;
+      } else if (peek() == '<') {
+        node->children.push_back(parse_element());
+      } else {
+        const auto next = s_.find('<', pos_);
+        if (next == std::string::npos) fail("unterminated element content");
+        node->text += decode_entities(s_.substr(pos_, next - pos_));
+        pos_ = next;
+      }
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const XmlNode* XmlNode::child(const std::string& element_name) const {
+  for (const auto& c : children) {
+    if (c->name == element_name) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<const XmlNode*> XmlNode::children_named(
+    const std::string& element_name) const {
+  std::vector<const XmlNode*> out;
+  for (const auto& c : children) {
+    if (c->name == element_name) out.push_back(c.get());
+  }
+  return out;
+}
+
+std::string XmlNode::attr(const std::string& attribute,
+                          const std::string& fallback) const {
+  auto it = attributes.find(attribute);
+  return it == attributes.end() ? fallback : it->second;
+}
+
+bool XmlNode::has_attr(const std::string& attribute) const {
+  return attributes.count(attribute) > 0;
+}
+
+std::unique_ptr<XmlNode> parse_xml(const std::string& text) {
+  Parser p(text);
+  return p.parse_document();
+}
+
+}  // namespace canopus::util

@@ -1,0 +1,37 @@
+#pragma once
+// Minimal XML subset parser for runtime configuration files.
+//
+// ADIOS configures I/O transports through an external XML file (the paper,
+// Section III-D); Canopus keeps that workflow. Supported subset: nested
+// elements, double- or single-quoted attributes, self-closing tags,
+// comments, and text content (kept verbatim, entities &lt; &gt; &amp;
+// &quot; &apos; decoded). No DTDs, namespaces, or processing instructions —
+// configuration files do not need them.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace canopus::util {
+
+struct XmlNode {
+  std::string name;
+  std::map<std::string, std::string> attributes;
+  std::vector<std::unique_ptr<XmlNode>> children;
+  std::string text;  // concatenated character data
+
+  /// First child with the given element name, or nullptr.
+  const XmlNode* child(const std::string& element_name) const;
+  /// All children with the given element name.
+  std::vector<const XmlNode*> children_named(const std::string& element_name) const;
+  /// Attribute value or fallback.
+  std::string attr(const std::string& attribute, const std::string& fallback = "") const;
+  bool has_attr(const std::string& attribute) const;
+};
+
+/// Parses a document and returns its root element; throws canopus::Error on
+/// malformed input.
+std::unique_ptr<XmlNode> parse_xml(const std::string& text);
+
+}  // namespace canopus::util

@@ -1,0 +1,470 @@
+// Unit and property tests for the compression library: round-trips, error
+// bounds, compression-ratio behavior on smooth vs rough signals, corrupt
+// stream handling, and the codec registry.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <string>
+
+#include "compress/codec.hpp"
+#include "compress/fpc.hpp"
+#include "compress/huffman.hpp"
+#include "compress/lzss.hpp"
+#include "compress/rle.hpp"
+#include "compress/sz_like.hpp"
+#include "compress/zfp_like.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace cc = canopus::compress;
+namespace cu = canopus::util;
+
+namespace {
+
+cu::Bytes to_bytes(const std::string& s) {
+  cu::Bytes b(s.size());
+  std::memcpy(b.data(), s.data(), s.size());
+  return b;
+}
+
+std::vector<double> smooth_signal(std::size_t n, std::uint64_t seed = 3) {
+  cu::Rng rng(seed);
+  std::vector<double> xs(n);
+  const double phase = rng.uniform(0.0, 6.28);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) * 0.01;
+    xs[i] = 10.0 * std::sin(t + phase) + 2.0 * std::sin(5.0 * t) + 100.0;
+  }
+  return xs;
+}
+
+std::vector<double> rough_signal(std::size_t n, std::uint64_t seed = 5) {
+  cu::Rng rng(seed);
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = rng.uniform(-50.0, 50.0);
+  return xs;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Huffman --
+
+TEST(Huffman, RoundTripText) {
+  const auto input = to_bytes(
+      "the quick brown fox jumps over the lazy dog -- the the the the");
+  const auto enc = cc::huffman_encode(input);
+  EXPECT_EQ(cc::huffman_decode(enc), input);
+}
+
+TEST(Huffman, RoundTripEmpty) {
+  const cu::Bytes empty;
+  EXPECT_EQ(cc::huffman_decode(cc::huffman_encode(empty)), empty);
+}
+
+TEST(Huffman, RoundTripSingleSymbolRun) {
+  const cu::Bytes input(1000, std::byte{0x41});
+  const auto enc = cc::huffman_encode(input);
+  EXPECT_EQ(cc::huffman_decode(enc), input);
+  EXPECT_LT(enc.size(), 200u);  // 1 bit per symbol plus table
+}
+
+TEST(Huffman, RoundTripAllByteValues) {
+  cu::Bytes input;
+  for (int rep = 0; rep < 3; ++rep) {
+    for (int b = 0; b < 256; ++b) input.push_back(static_cast<std::byte>(b));
+  }
+  EXPECT_EQ(cc::huffman_decode(cc::huffman_encode(input)), input);
+}
+
+TEST(Huffman, SkewedDistributionCompresses) {
+  cu::Rng rng(17);
+  cu::Bytes input(20000);
+  for (auto& b : input) {
+    // ~90% zeros.
+    b = rng.uniform() < 0.9 ? std::byte{0}
+                            : static_cast<std::byte>(rng.uniform_index(256));
+  }
+  const auto enc = cc::huffman_encode(input);
+  EXPECT_LT(enc.size(), input.size() / 2);
+}
+
+TEST(Huffman, RandomRoundTripSweep) {
+  cu::Rng rng(23);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = rng.uniform_index(5000);
+    cu::Bytes input(n);
+    for (auto& b : input) b = static_cast<std::byte>(rng.uniform_index(256));
+    EXPECT_EQ(cc::huffman_decode(cc::huffman_encode(input)), input)
+        << "trial " << trial;
+  }
+}
+
+// ------------------------------------------------------------------- LZSS --
+
+TEST(Lzss, RoundTripText) {
+  const auto input =
+      to_bytes("abcabcabcabcabc-hello-hello-hello-world-world-world");
+  EXPECT_EQ(cc::lzss_decode(cc::lzss_encode(input)), input);
+}
+
+TEST(Lzss, RoundTripEmptyAndTiny) {
+  for (std::size_t n : {0u, 1u, 2u, 3u}) {
+    cu::Bytes input(n, std::byte{0x7});
+    EXPECT_EQ(cc::lzss_decode(cc::lzss_encode(input)), input);
+  }
+}
+
+TEST(Lzss, RepetitiveInputCompressesHard) {
+  cu::Bytes input;
+  for (int i = 0; i < 1000; ++i) {
+    for (char ch : {'p', 'a', 't', 't', 'e', 'r', 'n'}) {
+      input.push_back(static_cast<std::byte>(ch));
+    }
+  }
+  const auto enc = cc::lzss_encode(input);
+  EXPECT_LT(enc.size(), input.size() / 10);
+  EXPECT_EQ(cc::lzss_decode(enc), input);
+}
+
+TEST(Lzss, IncompressibleInputRoundTrips) {
+  cu::Rng rng(29);
+  cu::Bytes input(10000);
+  for (auto& b : input) b = static_cast<std::byte>(rng.uniform_index(256));
+  const auto enc = cc::lzss_encode(input);
+  EXPECT_EQ(cc::lzss_decode(enc), input);
+  // Flag overhead only: ~12.5% expansion worst case.
+  EXPECT_LT(enc.size(), input.size() * 9 / 8 + 64);
+}
+
+TEST(Lzss, OverlappingMatchReplay) {
+  // 'aaaa...' forces matches whose source overlaps the output cursor.
+  const cu::Bytes input(500, std::byte{'a'});
+  EXPECT_EQ(cc::lzss_decode(cc::lzss_encode(input)), input);
+}
+
+// -------------------------------------------------------------------- RLE --
+
+TEST(Rle, RoundTripRuns) {
+  cu::Bytes input;
+  input.insert(input.end(), 100, std::byte{1});
+  input.insert(input.end(), 1, std::byte{2});
+  input.insert(input.end(), 50, std::byte{3});
+  const auto enc = cc::rle_encode(input);
+  EXPECT_LT(enc.size(), 16u);
+  EXPECT_EQ(cc::rle_decode(enc), input);
+}
+
+TEST(Rle, RoundTripEmpty) {
+  const cu::Bytes empty;
+  EXPECT_EQ(cc::rle_decode(cc::rle_encode(empty)), empty);
+}
+
+TEST(Rle, CorruptStreamThrows) {
+  cu::ByteWriter w;
+  w.put_varint(10);   // claims 10 bytes
+  w.put_varint(100);  // run longer than total
+  w.put(std::byte{1});
+  EXPECT_THROW(cc::rle_decode(w.view()), canopus::Error);
+}
+
+// -------------------------------------------------------------------- FPC --
+
+TEST(Fpc, LosslessRoundTripSmooth) {
+  const auto xs = smooth_signal(10000);
+  const auto dec = cc::fpc_decode(cc::fpc_encode(xs));
+  ASSERT_EQ(dec.size(), xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) EXPECT_EQ(dec[i], xs[i]);
+}
+
+TEST(Fpc, LosslessRoundTripRandom) {
+  const auto xs = rough_signal(5000);
+  EXPECT_EQ(cc::fpc_decode(cc::fpc_encode(xs)), xs);
+}
+
+TEST(Fpc, PreservesSpecialValues) {
+  const std::vector<double> xs{0.0, -0.0, 1e-308, -1e308,
+                               std::numeric_limits<double>::infinity(),
+                               -std::numeric_limits<double>::infinity(),
+                               5.0, 5.0, 5.0};
+  const auto dec = cc::fpc_decode(cc::fpc_encode(xs));
+  ASSERT_EQ(dec.size(), xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_EQ(std::memcmp(&dec[i], &xs[i], sizeof(double)), 0) << "index " << i;
+  }
+}
+
+TEST(Fpc, PreservesNanBitPattern) {
+  const std::vector<double> xs{std::nan(""), 1.0, std::nan("")};
+  const auto dec = cc::fpc_decode(cc::fpc_encode(xs));
+  ASSERT_EQ(dec.size(), xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_EQ(std::memcmp(&dec[i], &xs[i], sizeof(double)), 0);
+  }
+}
+
+TEST(Fpc, ConstantSeriesCompressesWell) {
+  const std::vector<double> xs(8192, 42.5);
+  const auto enc = cc::fpc_encode(xs);
+  EXPECT_LT(enc.size(), xs.size());  // > 8x ratio
+}
+
+TEST(Fpc, EmptyInput) {
+  EXPECT_TRUE(cc::fpc_decode(cc::fpc_encode(std::vector<double>{})).empty());
+}
+
+// ---------------------------------------------------------------- SZ-like --
+
+TEST(Sz, ErrorBoundHonoredSmooth) {
+  const auto xs = smooth_signal(20000);
+  for (double eb : {1e-1, 1e-3, 1e-6}) {
+    const auto dec = cc::sz_decode(cc::sz_encode(xs, eb));
+    ASSERT_EQ(dec.size(), xs.size());
+    EXPECT_LE(cu::max_abs_error(xs, dec), eb) << "eb=" << eb;
+  }
+}
+
+TEST(Sz, ErrorBoundHonoredRough) {
+  const auto xs = rough_signal(5000);
+  const double eb = 0.5;
+  const auto dec = cc::sz_decode(cc::sz_encode(xs, eb));
+  EXPECT_LE(cu::max_abs_error(xs, dec), eb);
+}
+
+TEST(Sz, TighterBoundCostsMoreBytes) {
+  const auto xs = smooth_signal(20000);
+  const auto loose = cc::sz_encode(xs, 1e-2);
+  const auto tight = cc::sz_encode(xs, 1e-8);
+  EXPECT_LT(loose.size(), tight.size());
+}
+
+TEST(Sz, ZeroBoundIsLossless) {
+  const auto xs = rough_signal(1000);
+  EXPECT_EQ(cc::sz_decode(cc::sz_encode(xs, 0.0)), xs);
+}
+
+TEST(Sz, HandlesNonFiniteViaEscape) {
+  std::vector<double> xs = smooth_signal(100);
+  xs[10] = std::numeric_limits<double>::infinity();
+  xs[20] = -std::numeric_limits<double>::infinity();
+  const auto dec = cc::sz_decode(cc::sz_encode(xs, 1e-3));
+  EXPECT_EQ(dec[10], xs[10]);
+  EXPECT_EQ(dec[20], xs[20]);
+}
+
+TEST(Sz, SmoothBeatsRoughRatio) {
+  const auto smooth = smooth_signal(20000);
+  const auto rough = rough_signal(20000);
+  const double eb = 1e-4;
+  EXPECT_LT(cc::sz_encode(smooth, eb).size(), cc::sz_encode(rough, eb).size());
+}
+
+// --------------------------------------------------------------- ZFP-like --
+
+TEST(Zfp, ErrorBoundHonoredSmooth) {
+  const auto xs = smooth_signal(20000);
+  for (double eb : {1.0, 1e-2, 1e-5, 1e-9}) {
+    const auto dec = cc::zfp_decode(cc::zfp_encode(xs, eb));
+    ASSERT_EQ(dec.size(), xs.size());
+    EXPECT_LE(cu::max_abs_error(xs, dec), eb) << "eb=" << eb;
+  }
+}
+
+TEST(Zfp, ErrorBoundHonoredRough) {
+  const auto xs = rough_signal(10000);
+  for (double eb : {5.0, 0.1, 1e-6}) {
+    const auto dec = cc::zfp_decode(cc::zfp_encode(xs, eb));
+    EXPECT_LE(cu::max_abs_error(xs, dec), eb) << "eb=" << eb;
+  }
+}
+
+TEST(Zfp, NearLosslessAtZeroBound) {
+  const auto xs = smooth_signal(5000);
+  const auto dec = cc::zfp_decode(cc::zfp_encode(xs, 0.0));
+  // Fixed-point quantization leaves ~1e-16 relative error.
+  EXPECT_LE(cu::max_abs_error(xs, dec), 1e-12);
+}
+
+TEST(Zfp, SmoothCompressesBetterThanRough) {
+  const auto smooth = smooth_signal(20000);
+  auto rough = rough_signal(20000);
+  // Match the dynamic range so the comparison is about smoothness only.
+  for (auto& x : rough) x += 100.0;
+  const double eb = 1e-4;
+  const auto s = cc::zfp_encode(smooth, eb);
+  const auto r = cc::zfp_encode(rough, eb);
+  EXPECT_LT(s.size(), r.size());
+}
+
+TEST(Zfp, LooserBoundSmallerStream) {
+  const auto xs = smooth_signal(20000);
+  EXPECT_LT(cc::zfp_encode(xs, 1e-1).size(), cc::zfp_encode(xs, 1e-6).size());
+}
+
+TEST(Zfp, AllZerosIsTiny) {
+  const std::vector<double> xs(4096, 0.0);
+  const auto enc = cc::zfp_encode(xs, 1e-6);
+  EXPECT_LT(enc.size(), 256u);
+  const auto dec = cc::zfp_decode(enc);
+  for (double v : dec) EXPECT_EQ(v, 0.0);
+}
+
+TEST(Zfp, ConstantBlock) {
+  const std::vector<double> xs(100, 7.25);
+  const auto dec = cc::zfp_decode(cc::zfp_encode(xs, 1e-9));
+  for (double v : dec) EXPECT_NEAR(v, 7.25, 1e-9);
+}
+
+TEST(Zfp, TailBlockShorterThan64) {
+  for (std::size_t n : {1u, 7u, 63u, 64u, 65u, 127u, 130u}) {
+    const auto xs = smooth_signal(n, n);
+    const auto dec = cc::zfp_decode(cc::zfp_encode(xs, 1e-8));
+    ASSERT_EQ(dec.size(), n);
+    EXPECT_LE(cu::max_abs_error(xs, dec), 1e-8) << "n=" << n;
+  }
+}
+
+TEST(Zfp, NonFiniteBlockStoredRaw) {
+  std::vector<double> xs = smooth_signal(200);
+  xs[70] = std::numeric_limits<double>::quiet_NaN();
+  const auto dec = cc::zfp_decode(cc::zfp_encode(xs, 1e-6));
+  ASSERT_EQ(dec.size(), xs.size());
+  EXPECT_TRUE(std::isnan(dec[70]));
+  // The NaN block (values 64..127) is verbatim; others stay bounded.
+  EXPECT_EQ(dec[65], xs[65]);
+  EXPECT_NEAR(dec[10], xs[10], 1e-6);
+}
+
+TEST(Zfp, HugeDynamicRange) {
+  std::vector<double> xs;
+  for (int i = 0; i < 256; ++i) {
+    xs.push_back(std::ldexp(1.0, (i % 60) - 30));  // 2^-30 .. 2^29
+  }
+  const double eb = 1e-3;
+  const auto dec = cc::zfp_decode(cc::zfp_encode(xs, eb));
+  EXPECT_LE(cu::max_abs_error(xs, dec), eb);
+}
+
+TEST(Zfp, NegativeValuesRoundTrip) {
+  auto xs = smooth_signal(1000);
+  for (auto& x : xs) x -= 100.0;  // center near zero, mixed signs
+  const auto dec = cc::zfp_decode(cc::zfp_encode(xs, 1e-7));
+  EXPECT_LE(cu::max_abs_error(xs, dec), 1e-7);
+}
+
+// --------------------------------------------------------------- Registry --
+
+TEST(Registry, AllNamesConstruct) {
+  for (const auto& name : cc::codec_names()) {
+    auto codec = cc::make_codec(name);
+    ASSERT_NE(codec, nullptr);
+    EXPECT_EQ(codec->name(), name);
+  }
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW(cc::make_codec("gzip"), canopus::Error);
+}
+
+TEST(Registry, ExpectedCodecsPresent) {
+  const auto names = cc::codec_names();
+  for (const char* expected : {"zfp", "sz", "fpc", "lzss", "huffman", "rle", "raw"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+}
+
+// Parameterized property sweep: every codec round-trips within its contract
+// on a variety of signals.
+class CodecProperty
+    : public ::testing::TestWithParam<std::tuple<std::string, std::size_t>> {};
+
+TEST_P(CodecProperty, RoundTripWithinBound) {
+  const auto& [name, n] = GetParam();
+  auto codec = cc::make_codec(name);
+  const double eb = 1e-5;
+  const auto xs = smooth_signal(n, n + 17);
+  const auto enc = codec->encode(xs, eb);
+  const auto dec = codec->decode(enc);
+  ASSERT_EQ(dec.size(), xs.size());
+  if (codec->lossless()) {
+    EXPECT_EQ(dec, xs);
+  } else {
+    EXPECT_LE(cu::max_abs_error(xs, dec), eb);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodecsVariousSizes, CodecProperty,
+    ::testing::Combine(::testing::Values("zfp", "sz", "fpc", "lzss", "huffman",
+                                         "rle", "raw"),
+                       ::testing::Values(std::size_t{0}, std::size_t{1},
+                                         std::size_t{64}, std::size_t{1000},
+                                         std::size_t{4097})),
+    [](const auto& param_info) {
+      return std::get<0>(param_info.param) + "_" +
+             std::to_string(std::get<1>(param_info.param));
+    });
+
+// ------------------------------------------------------------ garbage fuzz --
+
+// Deterministic fuzz: every decoder must reject or survive arbitrary bytes
+// without crashing or allocating absurd amounts (regression for the
+// header-trusting allocations found during development).
+TEST(Fuzz, DecodersSurviveGarbage) {
+  cu::Rng rng(0xFADE);
+  for (int trial = 0; trial < 300; ++trial) {
+    cu::Bytes garbage(100 + rng.uniform_index(4000));
+    for (auto& b : garbage) b = static_cast<std::byte>(rng.uniform_index(256));
+    for (const char* name : {"zfp", "sz", "fpc", "lzss", "huffman", "rle"}) {
+      const auto codec = cc::make_codec(name);
+      try {
+        const auto out = codec->decode(garbage);
+        // Decoding garbage "successfully" is fine, but the output must be
+        // structurally bounded by the input.
+        EXPECT_LT(out.size(), (garbage.size() + 64) * 600) << name;
+      } catch (const canopus::Error&) {
+        // expected for most inputs
+      }
+    }
+  }
+}
+
+TEST(Fuzz, TruncatedValidStreamsThrowNotCrash) {
+  const auto xs = smooth_signal(3000);
+  for (const char* name : {"zfp", "sz", "fpc", "lzss", "huffman", "rle"}) {
+    const auto codec = cc::make_codec(name);
+    const auto enc = codec->encode(xs, 1e-4);
+    for (std::size_t cut : {std::size_t{1}, enc.size() / 4, enc.size() / 2,
+                            enc.size() - 1}) {
+      cu::Bytes truncated(enc.begin(), enc.begin() + static_cast<long>(cut));
+      try {
+        const auto out = codec->decode(truncated);
+        EXPECT_LE(out.size(), xs.size() + 64) << name << " cut=" << cut;
+      } catch (const canopus::Error&) {
+        // expected
+      }
+    }
+  }
+}
+
+TEST(Fuzz, BitFlippedStreamsThrowOrStayBounded) {
+  const auto xs = smooth_signal(2000);
+  cu::Rng rng(0xBEEF);
+  for (const char* name : {"zfp", "sz", "fpc"}) {
+    const auto codec = cc::make_codec(name);
+    auto enc = codec->encode(xs, 1e-5);
+    for (int flip = 0; flip < 50; ++flip) {
+      auto corrupted = enc;
+      const auto pos = rng.uniform_index(corrupted.size());
+      corrupted[pos] ^= static_cast<std::byte>(1u << rng.uniform_index(8));
+      try {
+        const auto out = codec->decode(corrupted);
+        EXPECT_LE(out.size(), xs.size() * 2 + 64) << name;
+      } catch (const canopus::Error&) {
+        // expected
+      }
+    }
+  }
+}

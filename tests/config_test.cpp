@@ -1,0 +1,177 @@
+// Tests for the XML parser and the ADIOS-style runtime configuration loader.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "core/config.hpp"
+#include "util/xml.hpp"
+
+namespace cu = canopus::util;
+namespace cc = canopus::core;
+namespace cs = canopus::storage;
+
+// -------------------------------------------------------------------- XML --
+
+TEST(Xml, ParsesElementsAttributesText) {
+  const auto root = cu::parse_xml(
+      "<?xml version='1.0'?>\n"
+      "<!-- a comment -->\n"
+      "<config mode=\"fast\">\n"
+      "  <tier name='tmpfs' capacity=\"4MiB\"/>\n"
+      "  <note>hello &amp; goodbye</note>\n"
+      "</config>");
+  EXPECT_EQ(root->name, "config");
+  EXPECT_EQ(root->attr("mode"), "fast");
+  const auto* tier = root->child("tier");
+  ASSERT_NE(tier, nullptr);
+  EXPECT_EQ(tier->attr("name"), "tmpfs");
+  EXPECT_EQ(tier->attr("capacity"), "4MiB");
+  const auto* note = root->child("note");
+  ASSERT_NE(note, nullptr);
+  EXPECT_EQ(note->text, "hello & goodbye");
+  EXPECT_EQ(root->child("missing"), nullptr);
+  EXPECT_EQ(root->attr("missing", "dflt"), "dflt");
+}
+
+TEST(Xml, NestedAndRepeatedElements) {
+  const auto root = cu::parse_xml(
+      "<a><b i='1'><c/></b><b i='2'/><d/></a>");
+  const auto bs = root->children_named("b");
+  ASSERT_EQ(bs.size(), 2u);
+  EXPECT_EQ(bs[0]->attr("i"), "1");
+  EXPECT_EQ(bs[1]->attr("i"), "2");
+  EXPECT_NE(bs[0]->child("c"), nullptr);
+}
+
+TEST(Xml, EntitiesDecoded) {
+  const auto root = cu::parse_xml("<x v='&lt;&gt;&quot;&apos;&amp;'/>");
+  EXPECT_EQ(root->attr("v"), "<>\"'&");
+}
+
+TEST(Xml, MalformedInputsThrow) {
+  EXPECT_THROW(cu::parse_xml(""), canopus::Error);
+  EXPECT_THROW(cu::parse_xml("<a>"), canopus::Error);
+  EXPECT_THROW(cu::parse_xml("<a></b>"), canopus::Error);
+  EXPECT_THROW(cu::parse_xml("<a x=unquoted/>"), canopus::Error);
+  EXPECT_THROW(cu::parse_xml("<a/><b/>"), canopus::Error);
+  EXPECT_THROW(cu::parse_xml("<a>&unknown;</a>"), canopus::Error);
+  EXPECT_THROW(cu::parse_xml("<a><!-- unterminated </a>"), canopus::Error);
+}
+
+// ------------------------------------------------------------------ units --
+
+TEST(Units, Sizes) {
+  EXPECT_EQ(cc::parse_size("0"), 0u);
+  EXPECT_EQ(cc::parse_size("512B"), 512u);
+  EXPECT_EQ(cc::parse_size("4KiB"), 4096u);
+  EXPECT_EQ(cc::parse_size("2MiB"), 2u << 20);
+  EXPECT_EQ(cc::parse_size("1GiB"), 1u << 30);
+  EXPECT_EQ(cc::parse_size("3KB"), 3000u);
+  EXPECT_EQ(cc::parse_size("1.5KiB"), 1536u);
+  EXPECT_THROW(cc::parse_size("10parsecs"), canopus::Error);
+  EXPECT_THROW(cc::parse_size("lots"), canopus::Error);
+}
+
+TEST(Units, RatesAndDurations) {
+  EXPECT_DOUBLE_EQ(cc::parse_rate("250MB/s"), 250e6);
+  EXPECT_DOUBLE_EQ(cc::parse_rate("8GiB/s"), 8.0 * (1 << 30));
+  EXPECT_THROW(cc::parse_rate("250MB"), canopus::Error);
+  EXPECT_THROW(cc::parse_rate("0MB/s"), canopus::Error);
+  EXPECT_DOUBLE_EQ(cc::parse_duration("5ms"), 5e-3);
+  EXPECT_DOUBLE_EQ(cc::parse_duration("2us"), 2e-6);
+  EXPECT_DOUBLE_EQ(cc::parse_duration("1.5s"), 1.5);
+  EXPECT_THROW(cc::parse_duration("5min"), canopus::Error);
+}
+
+// ----------------------------------------------------------------- config --
+
+namespace {
+const char* kSample = R"(<canopus-config>
+  <storage policy="fastest-fit">
+    <tier preset="tmpfs" capacity="4MiB"/>
+    <tier preset="lustre" capacity="1GiB" read-bw="100MB/s" read-latency="8ms"/>
+  </storage>
+  <refactor levels="4" step="2" codec="sz" error-bound="1e-5"
+            estimate="barycentric" priority="gradient" tiered-placement="false"/>
+</canopus-config>)";
+}
+
+TEST(Config, LoadsTiersAndRefactor) {
+  const auto config = cc::load_config(kSample);
+  ASSERT_EQ(config.tiers.size(), 2u);
+  EXPECT_EQ(config.tiers[0].name, "tmpfs");
+  EXPECT_EQ(config.tiers[0].capacity_bytes, 4u << 20);
+  EXPECT_EQ(config.tiers[1].name, "lustre");
+  // Explicit attributes override the preset envelope...
+  EXPECT_DOUBLE_EQ(config.tiers[1].read_bandwidth, 100e6);
+  EXPECT_DOUBLE_EQ(config.tiers[1].read_latency, 8e-3);
+  // ...while untouched preset fields survive.
+  EXPECT_DOUBLE_EQ(config.tiers[1].write_bandwidth,
+                   cs::lustre_spec(1).write_bandwidth);
+
+  EXPECT_EQ(config.refactor.levels, 4u);
+  EXPECT_EQ(config.refactor.codec, "sz");
+  EXPECT_DOUBLE_EQ(config.refactor.error_bound, 1e-5);
+  EXPECT_EQ(config.refactor.estimate, cc::EstimateMode::kBarycentric);
+  EXPECT_EQ(config.refactor.decimate.priority,
+            canopus::mesh::EdgePriority::kGradientWeighted);
+  EXPECT_FALSE(config.refactor.tiered_placement);
+
+  auto hierarchy = config.make_hierarchy();
+  EXPECT_EQ(hierarchy.tier_count(), 2u);
+}
+
+TEST(Config, CustomTierWithoutPreset) {
+  const auto config = cc::load_config(R"(<canopus-config>
+    <storage>
+      <tier name="archive" capacity="8GiB" read-bw="40MB/s" write-bw="40MB/s"
+            read-latency="50ms" write-latency="50ms"/>
+    </storage>
+  </canopus-config>)");
+  ASSERT_EQ(config.tiers.size(), 1u);
+  EXPECT_EQ(config.tiers[0].name, "archive");
+  EXPECT_DOUBLE_EQ(config.tiers[0].read_bandwidth, 40e6);
+  // Refactor section absent: defaults apply.
+  EXPECT_EQ(config.refactor.levels, 3u);
+  EXPECT_EQ(config.refactor.codec, "zfp");
+}
+
+TEST(Config, FileBackendRequiresRoot) {
+  EXPECT_THROW(cc::load_config(R"(<canopus-config>
+    <storage><tier name="x" capacity="1MiB" backend="file"/></storage>
+  </canopus-config>)"),
+               canopus::Error);
+}
+
+TEST(Config, InvalidInputsThrow) {
+  EXPECT_THROW(cc::load_config("<wrong-root/>"), canopus::Error);
+  EXPECT_THROW(cc::load_config("<canopus-config/>"), canopus::Error);
+  EXPECT_THROW(cc::load_config(R"(<canopus-config>
+    <storage><tier preset="floppy" capacity="1MiB"/></storage>
+  </canopus-config>)"),
+               canopus::Error);
+  EXPECT_THROW(cc::load_config(R"(<canopus-config>
+    <storage policy="best-effort"><tier preset="tmpfs" capacity="1MiB"/></storage>
+  </canopus-config>)"),
+               canopus::Error);
+  EXPECT_THROW(cc::load_config(R"(<canopus-config>
+    <storage><tier capacity="1MiB"/></storage>
+  </canopus-config>)"),
+               canopus::Error);
+}
+
+TEST(Config, LoadFromFile) {
+  namespace fs = std::filesystem;
+  const auto path = (fs::temp_directory_path() / "canopus_config_test.xml").string();
+  {
+    std::ofstream f(path);
+    f << kSample;
+  }
+  const auto config = cc::load_config_file(path);
+  EXPECT_EQ(config.tiers.size(), 2u);
+  std::remove(path.c_str());
+  EXPECT_THROW(cc::load_config_file("/does/not/exist.xml"), canopus::Error);
+}

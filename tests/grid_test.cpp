@@ -1,0 +1,168 @@
+// Tests for the structured-grid data model: coarsening, bilinear estimate,
+// delta/restore exactness, shape serialization, and the grid refactor/read
+// pipeline.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "grid/refactor.hpp"
+#include "grid/structured.hpp"
+#include "storage/hierarchy.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace cg = canopus::grid;
+namespace cs = canopus::storage;
+namespace cu = canopus::util;
+namespace cc = canopus::core;
+
+namespace {
+
+cg::GridShape shape(std::size_t nx, std::size_t ny) {
+  cg::GridShape s;
+  s.nx = nx;
+  s.ny = ny;
+  s.dx = 1.0 / static_cast<double>(nx);
+  s.dy = 1.0 / static_cast<double>(ny);
+  return s;
+}
+
+cg::GridField smooth(const cg::GridShape& s) {
+  cg::GridField f(s.point_count());
+  for (std::size_t y = 0; y < s.ny; ++y) {
+    for (std::size_t x = 0; x < s.nx; ++x) {
+      const double px = s.x0 + static_cast<double>(x) * s.dx;
+      const double py = s.y0 + static_cast<double>(y) * s.dy;
+      f[y * s.nx + x] = std::sin(4.0 * px) * std::cos(5.0 * py) + 2.0 * px;
+    }
+  }
+  return f;
+}
+
+}  // namespace
+
+TEST(GridShape, CoarsenedHalvesCeil) {
+  const auto s = shape(9, 6);
+  const auto c = s.coarsened();
+  EXPECT_EQ(c.nx, 5u);
+  EXPECT_EQ(c.ny, 3u);
+  EXPECT_DOUBLE_EQ(c.dx, s.dx * 2.0);
+  const auto cc2 = c.coarsened();
+  EXPECT_EQ(cc2.nx, 3u);
+  EXPECT_EQ(cc2.ny, 2u);
+}
+
+TEST(GridShape, SerializeRoundTrip) {
+  const auto s = shape(40, 30);
+  cu::ByteWriter w;
+  s.serialize(w);
+  cu::ByteReader r(w.view());
+  EXPECT_EQ(cg::GridShape::deserialize(r), s);
+}
+
+TEST(Grid, CoarsenAveragesBlocks) {
+  // 4x2 grid with known values: coarse point (0,0) averages the 2x2 block.
+  const auto s = shape(4, 2);
+  const cg::GridField f{1.0, 3.0, 5.0, 7.0,   // row 0
+                        2.0, 4.0, 6.0, 8.0};  // row 1
+  const auto c = cg::coarsen(s, f);
+  ASSERT_EQ(c.size(), 2u);           // 2x1 coarse grid
+  EXPECT_DOUBLE_EQ(c[0], 2.5);        // mean(1,3,2,4)
+  EXPECT_DOUBLE_EQ(c[1], 6.5);        // mean(5,7,6,8)
+}
+
+TEST(Grid, CoarsenHandlesOddEdges) {
+  const auto s = shape(3, 3);
+  const cg::GridField f{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const auto c = cg::coarsen(s, f);
+  ASSERT_EQ(c.size(), 4u);  // 2x2
+  EXPECT_DOUBLE_EQ(c[0], (1 + 2 + 4 + 5) / 4.0);
+  EXPECT_DOUBLE_EQ(c[1], (3 + 6) / 2.0);   // right edge: 1x2 block
+  EXPECT_DOUBLE_EQ(c[3], 9.0);             // corner: single point
+}
+
+TEST(Grid, DeltaRestoreExactInverse) {
+  const auto s = shape(37, 23);  // odd sizes stress the edge handling
+  const auto fine = smooth(s);
+  const auto c = s.coarsened();
+  const auto coarse = cg::coarsen(s, fine);
+  const auto delta = cg::compute_grid_delta(s, fine, c, coarse);
+  const auto restored = cg::restore_grid_level(s, delta, c, coarse);
+  ASSERT_EQ(restored.size(), fine.size());
+  EXPECT_LE(cu::max_abs_error(fine, restored), 1e-13);
+}
+
+TEST(Grid, DeltasAreSmallForSmoothFields) {
+  const auto s = shape(64, 64);
+  const auto fine = smooth(s);
+  const auto coarse = cg::coarsen(s, fine);
+  const auto delta = cg::compute_grid_delta(s, fine, s.coarsened(), coarse);
+  cu::RunningStats level, d;
+  level.add(fine);
+  d.add(delta);
+  EXPECT_LT(d.stddev(), level.stddev() / 10.0);
+}
+
+TEST(Grid, RefactorReadRoundTripWithinBudget) {
+  cs::StorageHierarchy tiers(
+      {cs::tmpfs_spec(8 << 20), cs::lustre_spec(1 << 30)});
+  const auto s = shape(100, 80);
+  const auto values = smooth(s);
+  cc::RefactorConfig config;
+  config.levels = 4;
+  config.codec = "zfp";
+  config.error_bound = 1e-6;
+  const auto report =
+      cg::refactor_and_write_grid(tiers, "g.bp", "pressure", s, values, config);
+  EXPECT_EQ(report.level_points.size(), 4u);
+  EXPECT_LT(report.stored_bytes, report.raw_bytes);
+
+  cg::GridProgressiveReader reader(tiers, "g.bp", "pressure");
+  EXPECT_EQ(reader.level_count(), 4u);
+  EXPECT_GT(reader.decimation_ratio(), 30.0);  // ~2^(2*3) = 64x points
+  EXPECT_EQ(reader.values().size(), reader.current_shape().point_count());
+  reader.refine_to(0);
+  ASSERT_EQ(reader.values().size(), values.size());
+  EXPECT_LE(cu::max_abs_error(values, reader.values()),
+            4.0 * config.error_bound);
+  EXPECT_THROW(reader.refine(), canopus::Error);
+}
+
+TEST(Grid, ProgressiveShapesShrinkThenGrow) {
+  cs::StorageHierarchy tiers(
+      {cs::tmpfs_spec(8 << 20), cs::lustre_spec(1 << 30)});
+  const auto s = shape(65, 33);  // odd dims exercise ceil halving end-to-end
+  cc::RefactorConfig config;
+  config.levels = 3;
+  config.codec = "fpc";
+  cg::refactor_and_write_grid(tiers, "o.bp", "v", s, smooth(s), config);
+  cg::GridProgressiveReader reader(tiers, "o.bp", "v");
+  EXPECT_EQ(reader.current_shape().nx, 17u);
+  reader.refine();
+  EXPECT_EQ(reader.current_shape().nx, 33u);
+  reader.refine();
+  EXPECT_EQ(reader.current_shape().nx, 65u);
+  EXPECT_LE(cu::max_abs_error(smooth(s), reader.values()), 1e-12);
+}
+
+TEST(Grid, NonGridContainerRejected) {
+  cs::StorageHierarchy tiers(
+      {cs::tmpfs_spec(8 << 20), cs::lustre_spec(1 << 30)});
+  canopus::adios::BpWriter w(tiers, "plain.bp");
+  w.write_doubles("v", canopus::adios::BlockKind::kData, 0,
+                  std::vector<double>{1.0}, "raw", 0.0);
+  w.close();
+  EXPECT_THROW(cg::GridProgressiveReader(tiers, "plain.bp", "v"),
+               canopus::Error);
+}
+
+TEST(Grid, TooManyLevelsThrow) {
+  cs::StorageHierarchy tiers({cs::tmpfs_spec(8 << 20)});
+  const auto s = shape(4, 4);
+  cc::RefactorConfig config;
+  config.levels = 6;  // 4 -> 2 -> 1: exhausted before 6 levels
+  EXPECT_THROW(
+      cg::refactor_and_write_grid(tiers, "x.bp", "v", s, smooth(s), config),
+      canopus::Error);
+}

@@ -1,0 +1,179 @@
+// Tests for the synthetic dataset generators: mesh validity, field structure
+// (blobs near the edge, shock front, stagnation pressure), determinism, and
+// end-to-end compatibility with the blob detector.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "analytics/blob.hpp"
+#include "analytics/raster.hpp"
+#include "mesh/validate.hpp"
+#include "sim/datasets.hpp"
+
+namespace si = canopus::sim;
+namespace an = canopus::analytics;
+namespace cm = canopus::mesh;
+
+namespace {
+si::XgcOptions small_xgc() {
+  si::XgcOptions opt;
+  opt.rings = 32;
+  opt.sectors = 160;
+  return opt;
+}
+}  // namespace
+
+TEST(Xgc, MeshValidAndSized) {
+  const auto ds = si::make_xgc_dataset(small_xgc());
+  EXPECT_EQ(ds.name, "xgc1");
+  EXPECT_EQ(ds.variable, "dpot");
+  EXPECT_TRUE(cm::validate(ds.mesh).ok);
+  EXPECT_EQ(ds.values.size(), ds.mesh.vertex_count());
+  EXPECT_EQ(ds.mesh.vertex_count(), 33u * 160u);
+}
+
+TEST(Xgc, PaperSizedMeshMatchesDpotPlane) {
+  // Defaults target the paper's plane: 20,694 dpot values / ~41k triangles.
+  const si::XgcOptions opt;
+  const auto ds = si::make_xgc_dataset(opt);
+  EXPECT_NEAR(static_cast<double>(ds.mesh.vertex_count()), 20694.0, 500.0);
+  EXPECT_NEAR(static_cast<double>(ds.mesh.triangle_count()), 41087.0, 1500.0);
+}
+
+TEST(Xgc, BlobsLiveNearTheEdge) {
+  std::vector<si::BlobSpec> truth;
+  const auto ds = si::make_xgc_dataset(small_xgc(), &truth);
+  ASSERT_EQ(truth.size(), small_xgc().blob_count);
+  for (const auto& b : truth) {
+    const double r = b.center.norm();
+    EXPECT_GT(r, 0.7);
+    EXPECT_LT(r, 1.0);
+  }
+  // Field max should be near a positive blob center, well above background.
+  const double peak = *std::max_element(ds.values.begin(), ds.values.end());
+  EXPECT_GT(peak, 0.8);
+}
+
+TEST(Xgc, DetectorFindsInjectedBlobs) {
+  // End-to-end: rasterize the synthetic dpot plane and check the detector
+  // recovers a majority of the injected positive blobs.
+  si::XgcOptions opt = small_xgc();
+  opt.blob_count = 6;
+  opt.turbulence_amplitude = 0.02;
+  std::vector<si::BlobSpec> truth;
+  const auto ds = si::make_xgc_dataset(opt, &truth);
+  const auto bounds = ds.mesh.bounds();
+  const auto raster = an::rasterize(ds.mesh, ds.values, 300, 300, bounds);
+  const auto [lo, hi] =
+      std::minmax_element(ds.values.begin(), ds.values.end());
+  const auto img = an::to_gray8(raster, *lo, *hi);
+  an::BlobParams params;
+  params.min_threshold = 10;
+  params.max_threshold = 200;
+  params.min_area = 40;
+  const auto blobs = an::detect_blobs(img, 300, 300, params);
+  ASSERT_FALSE(blobs.empty());
+  // Count injected positive blobs matched by a detection within 2 sigma.
+  std::size_t matched = 0;
+  for (const auto& t : truth) {
+    if (t.amplitude <= 0) continue;
+    const double px = (t.center.x - bounds.lo.x) / bounds.width() * 300.0;
+    const double py = (t.center.y - bounds.lo.y) / bounds.height() * 300.0;
+    for (const auto& b : blobs) {
+      const double d = std::hypot(b.center.x - px, b.center.y - py);
+      if (d < 25.0) {
+        ++matched;
+        break;
+      }
+    }
+  }
+  std::size_t positive = 0;
+  for (const auto& t : truth) {
+    if (t.amplitude > 0) ++positive;
+  }
+  EXPECT_GE(matched * 2, positive);  // at least half found
+}
+
+TEST(Xgc, Deterministic) {
+  const auto a = si::make_xgc_dataset(small_xgc());
+  const auto b = si::make_xgc_dataset(small_xgc());
+  EXPECT_TRUE(a.mesh == b.mesh);
+  EXPECT_EQ(a.values, b.values);
+  si::XgcOptions other = small_xgc();
+  other.seed = 99;
+  const auto c = si::make_xgc_dataset(other);
+  EXPECT_NE(a.values, c.values);
+}
+
+TEST(Genasis, MeshValidAndFieldHasShockFront) {
+  si::GenasisOptions opt;
+  opt.rings = 48;
+  opt.sectors = 180;
+  const auto ds = si::make_genasis_dataset(opt);
+  EXPECT_TRUE(cm::validate(ds.mesh).ok);
+  EXPECT_EQ(ds.variable, "normVec");
+  // Inside the shock the field is strong; far outside it decays to ~0.
+  double inner_mean = 0.0, outer_mean = 0.0;
+  std::size_t inner_n = 0, outer_n = 0;
+  for (cm::VertexId v = 0; v < ds.mesh.vertex_count(); ++v) {
+    const double r = ds.mesh.vertex(v).norm();
+    if (r < opt.shock_radius * 0.7) {
+      inner_mean += ds.values[v];
+      ++inner_n;
+    } else if (r > opt.shock_radius * 1.8) {
+      outer_mean += ds.values[v];
+      ++outer_n;
+    }
+  }
+  inner_mean /= static_cast<double>(inner_n);
+  outer_mean /= static_cast<double>(outer_n);
+  EXPECT_GT(inner_mean, 5.0 * std::abs(outer_mean));
+}
+
+TEST(Genasis, PaperSizedMeshMatchesTriangleCount) {
+  const si::GenasisOptions opt;
+  const auto ds = si::make_genasis_dataset(opt);
+  EXPECT_NEAR(static_cast<double>(ds.mesh.triangle_count()), 130050.0, 4000.0);
+}
+
+TEST(Cfd, MeshValidWithBodyCutout) {
+  si::CfdOptions opt;
+  const auto ds = si::make_cfd_dataset(opt);
+  EXPECT_TRUE(cm::validate(ds.mesh).ok);
+  EXPECT_EQ(cm::validate(ds.mesh).euler_characteristic, 0);  // hole
+  EXPECT_NEAR(static_cast<double>(ds.mesh.triangle_count()), 12577.0, 800.0);
+}
+
+TEST(Cfd, StagnationPressureAtLeadingEdge) {
+  si::CfdOptions opt;
+  const auto ds = si::make_cfd_dataset(opt);
+  // Pressure peaks near the body's leading edge (stagnation point) and is
+  // close to free-stream far upstream.
+  double best_p = -1e300;
+  cm::Vec2 best{};
+  for (cm::VertexId v = 0; v < ds.mesh.vertex_count(); ++v) {
+    if (ds.values[v] > best_p) {
+      best_p = ds.values[v];
+      best = ds.mesh.vertex(v);
+    }
+  }
+  // The stagnation value is p_inf + q = 1.5 at the exact body surface; the
+  // nearest mesh vertex sits a cell away, so accept a band below that.
+  EXPECT_GT(best_p, 1.2);
+  EXPECT_LE(best_p, 1.5 + 1e-9);
+  const double body_dist = std::hypot(best.x - opt.body_x, best.y - opt.body_y);
+  EXPECT_LT(body_dist, opt.chord);
+}
+
+TEST(AllDatasets, ScaleControlsSize) {
+  const auto small = si::all_datasets(0.05);
+  const auto large = si::all_datasets(0.2);
+  ASSERT_EQ(small.size(), 3u);
+  ASSERT_EQ(large.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(cm::validate(small[i].mesh).ok) << small[i].name;
+    EXPECT_LT(small[i].mesh.vertex_count(), large[i].mesh.vertex_count());
+  }
+}
