@@ -12,7 +12,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <memory>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -66,6 +68,9 @@ struct PipelineCase {
   double decompress = 0.0;  // wall
   double restore = 0.0;     // wall
   double analysis = 0.0;    // wall (blob detection; 0 when not run)
+  std::size_t retries = 0;          // faulted reads that were retried
+  std::size_t corruptions = 0;      // CRC failures among those
+  std::size_t replica_reads = 0;    // reads served by a replica copy
   double total() const { return io + decompress + restore + analysis; }
 };
 
@@ -88,7 +93,36 @@ struct PipelineOptions {
   int blob_config = 1;
   std::string codec = "zfp";
   double error_bound = 1e-4;
+  // Fault injection on the slow tier (--fault-rate): probability of an
+  // injected read failure; a tenth of it additionally bit-flips payloads.
+  // Zero disables injection entirely (byte-identical to the fault-free path).
+  double fault_rate = 0.0;
+  std::uint64_t fault_seed = 7;
 };
+
+/// Wires a seeded FaultInjector into the slow tier of `tiers` per the
+/// options; no-op when fault_rate is zero. `stream` decorrelates the decision
+/// sequences of the independent per-case hierarchies — with one shared seed
+/// every case would replay the same fault prefix.
+inline void apply_fault_model(storage::StorageHierarchy& tiers,
+                              const PipelineOptions& opt,
+                              std::uint64_t stream = 0) {
+  if (opt.fault_rate <= 0.0) return;
+  auto injector = std::make_shared<storage::FaultInjector>(
+      opt.fault_seed + stream * 0x9e3779b97f4a7c15ull);
+  storage::FaultProfile profile;
+  profile.read_error = opt.fault_rate;
+  profile.corrupt = opt.fault_rate * 0.1;
+  injector->set_profile(tiers.tier_count() - 1, profile);
+  tiers.attach_fault_injector(std::move(injector));
+  storage::RetryPolicy retry;
+  // Size the retry budget to the configured rate so even extreme --fault-rate
+  // values leave ~1e-6 odds of exhausting a read (min 6, capped at 40).
+  const double p = std::min(profile.read_error + profile.corrupt, 0.99);
+  retry.max_attempts = static_cast<std::uint32_t>(std::clamp(
+      std::ceil(std::log(1e-6) / std::log(p)), 6.0, 40.0));
+  tiers.set_retry_policy(retry);
+}
 
 inline std::vector<PipelineCase> run_pipeline(
     const sim::Dataset& ds, const PipelineOptions& opt,
@@ -121,6 +155,7 @@ inline std::vector<PipelineCase> run_pipeline(
     w.write_doubles(ds.variable, adios::BlockKind::kData, 0, ds.values, "raw",
                     0.0, 1u);  // pinned to the slow tier
     w.close();
+    apply_fault_model(tiers, opt, 0);  // after the write: faults hit reads only
     adios::BpReader r(tiers, "raw.bp");
     adios::ReadTiming t;
     const auto values = r.read_doubles(ds.variable, adios::BlockKind::kData, 0, &t);
@@ -129,6 +164,9 @@ inline std::vector<PipelineCase> run_pipeline(
     c.io = t.io_sim_seconds;
     c.decompress = 0.0;
     c.restore = 0.0;
+    c.retries = t.retries;
+    c.corruptions = t.corruptions;
+    c.replica_reads = t.from_replica ? 1 : 0;
     if (opt.detect_blobs) c.analysis = analyze(ds.mesh, values);
     cases.push_back(c);
     PipelineCase fc = c;
@@ -136,6 +174,7 @@ inline std::vector<PipelineCase> run_pipeline(
     full_cases.push_back(fc);
   }
 
+  std::uint64_t fault_stream = 0;
   for (int ratio : opt.ratios) {
     const auto n_levels =
         static_cast<std::size_t>(std::lround(std::log2(ratio))) + 1;
@@ -148,8 +187,10 @@ inline std::vector<PipelineCase> run_pipeline(
                              config);
     // Meshes are static across a simulation campaign; analytics load the
     // geometry once and reuse it for every timestep, so the per-read cases
-    // below exclude that one-time cost.
+    // below exclude that one-time cost — and, like the write, that campaign-
+    // lifetime preload runs before the per-timestep fault window opens.
     const auto geometry = core::GeometryCache::load(tiers, "run.bp", ds.variable);
+    apply_fault_model(tiers, opt, ++fault_stream);
 
     // (a) construct the next level of accuracy, then analyze it.
     {
@@ -164,6 +205,9 @@ inline std::vector<PipelineCase> run_pipeline(
       c.io = t.io_seconds;
       c.decompress = t.decompress_seconds;
       c.restore = t.restore_seconds;
+      c.retries = t.retries;
+      c.corruptions = t.corruptions_detected;
+      c.replica_reads = t.replica_reads;
       if (opt.detect_blobs) {
         c.analysis = analyze(reader.current_mesh(), reader.values());
       }
@@ -180,6 +224,9 @@ inline std::vector<PipelineCase> run_pipeline(
       c.io = t.io_seconds;
       c.decompress = t.decompress_seconds;
       c.restore = t.restore_seconds;
+      c.retries = t.retries;
+      c.corruptions = t.corruptions_detected;
+      c.replica_reads = t.replica_reads;
       full_cases.push_back(c);
     }
   }
@@ -202,6 +249,19 @@ inline void print_pipeline_table(const std::string& title,
     if (with_analysis) row.push_back(util::Table::num(c.analysis, 4));
     row.push_back(util::Table::num(c.total(), 4));
     t.add_row(std::move(row));
+  }
+  t.print(os, title);
+}
+
+/// Fault-path counters for a --fault-rate run: how often each case retried,
+/// caught corruption, or fell back to a replica copy.
+inline void print_fault_summary(const std::string& title,
+                                const std::vector<PipelineCase>& cases,
+                                std::ostream& os) {
+  util::Table t({"decimation", "retries", "corruptions", "replica-reads"});
+  for (const auto& c : cases) {
+    t.add_row({c.label, std::to_string(c.retries), std::to_string(c.corruptions),
+               std::to_string(c.replica_reads)});
   }
   t.print(os, title);
 }

@@ -19,6 +19,10 @@ int main(int argc, char** argv) {
   opt.detect_blobs = true;
   opt.raster_px = static_cast<std::size_t>(cli.get_int("raster", 360));
   opt.error_bound = cli.get_double("eb", 1e-4);
+  // --fault-rate p injects read failures (and p/10 bit-flip corruption) on
+  // the contended PFS tier; reads retry, fall back to replicas, or degrade.
+  opt.fault_rate = cli.get_double("fault-rate", 0.0);
+  opt.fault_seed = static_cast<std::uint64_t>(cli.get_int("fault-seed", 7));
 
   const auto ds = sim::make_xgc_dataset({});
   std::cout << "workload: xgc1 dpot plane, " << ds.values.size()
@@ -34,6 +38,15 @@ int main(int argc, char** argv) {
   bench::print_pipeline_table(
       "Fig. 9b restoring full accuracy from base + deltas", full, false,
       std::cout);
+
+  if (opt.fault_rate > 0.0) {
+    std::cout << '\n';
+    bench::print_fault_summary(
+        "fault model (rate " + util::Table::num(opt.fault_rate, 3) +
+            ", seed " + std::to_string(opt.fault_seed) +
+            "): full-restoration fault counters",
+        full, std::cout);
+  }
 
   const double none_total = full.front().total();
   double best = none_total;

@@ -211,11 +211,12 @@ examples/CMakeFiles/accuracy_driven_query.dir/accuracy_driven_query.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/storage/hierarchy.hpp /root/repo/src/storage/tier.hpp \
- /root/repo/src/core/types.hpp /root/repo/src/mesh/decimate.hpp \
- /root/repo/src/mesh/tri_mesh.hpp /root/repo/src/mesh/geometry.hpp \
- /usr/include/c++/12/cmath /usr/include/math.h \
- /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/storage/hierarchy.hpp /root/repo/src/storage/fault.hpp \
+ /root/repo/src/util/rng.hpp /usr/include/c++/12/limits \
+ /root/repo/src/storage/tier.hpp /root/repo/src/core/types.hpp \
+ /root/repo/src/mesh/decimate.hpp /root/repo/src/mesh/tri_mesh.hpp \
+ /root/repo/src/mesh/geometry.hpp /usr/include/c++/12/cmath \
+ /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -224,8 +225,7 @@ examples/CMakeFiles/accuracy_driven_query.dir/accuracy_driven_query.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/mathcalls.h \
  /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
  /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
- /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/limits \
- /usr/include/c++/12/tr1/gamma.tcc \
+ /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/tr1/gamma.tcc \
  /usr/include/c++/12/tr1/special_function_util.h \
  /usr/include/c++/12/tr1/bessel_function.tcc \
  /usr/include/c++/12/tr1/beta_function.tcc \

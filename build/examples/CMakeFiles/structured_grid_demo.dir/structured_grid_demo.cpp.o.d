@@ -233,7 +233,8 @@ examples/CMakeFiles/structured_grid_demo.dir/structured_grid_demo.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/storage/hierarchy.hpp /root/repo/src/storage/tier.hpp \
+ /root/repo/src/storage/hierarchy.hpp /root/repo/src/storage/fault.hpp \
+ /root/repo/src/util/rng.hpp /root/repo/src/storage/tier.hpp \
  /root/repo/src/core/types.hpp /root/repo/src/mesh/decimate.hpp \
  /root/repo/src/mesh/tri_mesh.hpp /root/repo/src/mesh/geometry.hpp \
  /root/repo/src/mesh/cascade.hpp /root/repo/src/util/timer.hpp \

@@ -233,5 +233,6 @@ src/CMakeFiles/canopus_core.dir/core/geometry_cache.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
+ /root/repo/src/storage/fault.hpp /root/repo/src/util/rng.hpp \
  /root/repo/src/storage/tier.hpp /root/repo/src/adios/bp.hpp \
  /root/repo/src/compress/codec.hpp

@@ -209,7 +209,8 @@ src/CMakeFiles/canopus_grid.dir/grid/refactor.cpp.o: \
  /root/repo/src/util/byte_buffer.hpp /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/util/assert.hpp /root/repo/src/storage/hierarchy.hpp \
- /root/repo/src/storage/tier.hpp \
+ /root/repo/src/storage/fault.hpp /root/repo/src/util/rng.hpp \
+ /usr/include/c++/12/limits /root/repo/src/storage/tier.hpp \
  /root/repo/src/core/progressive_reader.hpp \
  /root/repo/src/core/geometry_cache.hpp /root/repo/src/core/types.hpp \
  /root/repo/src/mesh/decimate.hpp /root/repo/src/mesh/tri_mesh.hpp \
@@ -223,8 +224,7 @@ src/CMakeFiles/canopus_grid.dir/grid/refactor.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/mathcalls.h \
  /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
  /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
- /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/limits \
- /usr/include/c++/12/tr1/gamma.tcc \
+ /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/tr1/gamma.tcc \
  /usr/include/c++/12/tr1/special_function_util.h \
  /usr/include/c++/12/tr1/bessel_function.tcc \
  /usr/include/c++/12/tr1/beta_function.tcc \

@@ -1,6 +1,10 @@
 file(REMOVE_RECURSE
   "CMakeFiles/canopus_storage.dir/storage/aggregation.cpp.o"
   "CMakeFiles/canopus_storage.dir/storage/aggregation.cpp.o.d"
+  "CMakeFiles/canopus_storage.dir/storage/blob_frame.cpp.o"
+  "CMakeFiles/canopus_storage.dir/storage/blob_frame.cpp.o.d"
+  "CMakeFiles/canopus_storage.dir/storage/fault.cpp.o"
+  "CMakeFiles/canopus_storage.dir/storage/fault.cpp.o.d"
   "CMakeFiles/canopus_storage.dir/storage/hierarchy.cpp.o"
   "CMakeFiles/canopus_storage.dir/storage/hierarchy.cpp.o.d"
   "CMakeFiles/canopus_storage.dir/storage/tier.cpp.o"

@@ -202,8 +202,17 @@ src/CMakeFiles/canopus_storage.dir/storage/hierarchy.cpp.o: \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/storage/tier.hpp \
- /usr/include/c++/12/cstddef /root/repo/src/util/byte_buffer.hpp \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/storage/fault.hpp \
+ /usr/include/c++/12/cstddef /root/repo/src/util/assert.hpp \
+ /root/repo/src/util/rng.hpp /usr/include/c++/12/limits \
+ /root/repo/src/storage/tier.hpp /root/repo/src/util/byte_buffer.hpp \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /usr/include/c++/12/span /usr/include/c++/12/array \
- /root/repo/src/util/assert.hpp
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/storage/blob_frame.hpp

@@ -192,5 +192,7 @@ src/CMakeFiles/canopus_storage.dir/storage/tier.cpp.o: \
  /usr/include/c++/12/bits/fs_ops.h /usr/include/c++/12/fstream \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
- /usr/include/c++/12/bits/fstream.tcc /root/repo/src/util/timer.hpp \
+ /usr/include/c++/12/bits/fstream.tcc \
+ /root/repo/src/storage/blob_frame.hpp /root/repo/src/storage/fault.hpp \
+ /root/repo/src/util/rng.hpp /root/repo/src/util/timer.hpp \
  /usr/include/c++/12/chrono

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/util/cli.cpp" "src/CMakeFiles/canopus_util.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/canopus_util.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/crc32.cpp" "src/CMakeFiles/canopus_util.dir/util/crc32.cpp.o" "gcc" "src/CMakeFiles/canopus_util.dir/util/crc32.cpp.o.d"
   "/root/repo/src/util/rng.cpp" "src/CMakeFiles/canopus_util.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/canopus_util.dir/util/rng.cpp.o.d"
   "/root/repo/src/util/stats.cpp" "src/CMakeFiles/canopus_util.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/canopus_util.dir/util/stats.cpp.o.d"
   "/root/repo/src/util/table.cpp" "src/CMakeFiles/canopus_util.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/canopus_util.dir/util/table.cpp.o.d"

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/canopus_util.dir/util/cli.cpp.o"
   "CMakeFiles/canopus_util.dir/util/cli.cpp.o.d"
+  "CMakeFiles/canopus_util.dir/util/crc32.cpp.o"
+  "CMakeFiles/canopus_util.dir/util/crc32.cpp.o.d"
   "CMakeFiles/canopus_util.dir/util/rng.cpp.o"
   "CMakeFiles/canopus_util.dir/util/rng.cpp.o.d"
   "CMakeFiles/canopus_util.dir/util/stats.cpp.o"

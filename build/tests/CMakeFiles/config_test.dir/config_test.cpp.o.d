@@ -327,5 +327,6 @@ tests/CMakeFiles/config_test.dir/config_test.cpp.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/util/byte_buffer.hpp /usr/include/c++/12/cstring \
  /usr/include/c++/12/span /root/repo/src/util/assert.hpp \
+ /root/repo/src/storage/fault.hpp /root/repo/src/util/rng.hpp \
  /root/repo/src/storage/hierarchy.hpp /root/repo/src/storage/tier.hpp \
  /root/repo/src/util/xml.hpp

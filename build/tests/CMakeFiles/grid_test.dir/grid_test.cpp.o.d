@@ -319,6 +319,7 @@ tests/CMakeFiles/grid_test.dir/grid_test.cpp.o: \
  /root/repo/src/compress/codec.hpp /usr/include/c++/12/span \
  /root/repo/src/util/byte_buffer.hpp /usr/include/c++/12/cstring \
  /root/repo/src/util/assert.hpp /root/repo/src/storage/hierarchy.hpp \
+ /root/repo/src/storage/fault.hpp /root/repo/src/util/rng.hpp \
  /root/repo/src/storage/tier.hpp \
  /root/repo/src/core/progressive_reader.hpp \
  /root/repo/src/core/geometry_cache.hpp /root/repo/src/core/types.hpp \
@@ -326,4 +327,4 @@ tests/CMakeFiles/grid_test.dir/grid_test.cpp.o: \
  /root/repo/src/mesh/geometry.hpp /root/repo/src/util/timer.hpp \
  /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /root/repo/src/grid/structured.hpp \
- /root/repo/src/util/rng.hpp /root/repo/src/util/stats.hpp
+ /root/repo/src/util/stats.hpp

@@ -328,7 +328,8 @@ tests/CMakeFiles/integration_test.dir/integration_test.cpp.o: \
  /root/repo/src/core/canopus.hpp /root/repo/src/core/byte_split.hpp \
  /root/repo/src/core/campaign.hpp /root/repo/src/core/refactorer.hpp \
  /root/repo/src/adios/bp.hpp /root/repo/src/compress/codec.hpp \
- /root/repo/src/storage/hierarchy.hpp /root/repo/src/storage/tier.hpp \
+ /root/repo/src/storage/hierarchy.hpp /root/repo/src/storage/fault.hpp \
+ /root/repo/src/util/rng.hpp /root/repo/src/storage/tier.hpp \
  /root/repo/src/core/types.hpp /root/repo/src/mesh/decimate.hpp \
  /root/repo/src/mesh/cascade.hpp /root/repo/src/util/timer.hpp \
  /usr/include/c++/12/chrono /root/repo/src/core/delta.hpp \

@@ -322,7 +322,8 @@ tests/CMakeFiles/property_test.dir/property_test.cpp.o: \
  /root/repo/src/util/assert.hpp /root/repo/src/core/canopus.hpp \
  /root/repo/src/core/byte_split.hpp /root/repo/src/core/campaign.hpp \
  /root/repo/src/core/refactorer.hpp /root/repo/src/adios/bp.hpp \
- /root/repo/src/storage/hierarchy.hpp /root/repo/src/storage/tier.hpp \
+ /root/repo/src/storage/hierarchy.hpp /root/repo/src/storage/fault.hpp \
+ /root/repo/src/util/rng.hpp /root/repo/src/storage/tier.hpp \
  /root/repo/src/core/types.hpp /root/repo/src/mesh/decimate.hpp \
  /root/repo/src/mesh/tri_mesh.hpp /root/repo/src/mesh/geometry.hpp \
  /root/repo/src/mesh/cascade.hpp /root/repo/src/util/timer.hpp \
@@ -332,5 +333,5 @@ tests/CMakeFiles/property_test.dir/property_test.cpp.o: \
  /root/repo/src/core/geometry_cache.hpp \
  /root/repo/src/core/progressive_reader.hpp \
  /root/repo/src/core/transport.hpp /root/repo/src/mesh/generators.hpp \
- /root/repo/src/util/rng.hpp /root/repo/src/mesh/validate.hpp \
+ /root/repo/src/mesh/validate.hpp /root/repo/src/storage/blob_frame.hpp \
  /root/repo/src/util/stats.hpp

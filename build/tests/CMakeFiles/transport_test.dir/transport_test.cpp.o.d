@@ -318,6 +318,7 @@ tests/CMakeFiles/transport_test.dir/transport_test.cpp.o: \
  /root/repo/src/compress/codec.hpp /usr/include/c++/12/span \
  /root/repo/src/util/byte_buffer.hpp /usr/include/c++/12/cstring \
  /root/repo/src/util/assert.hpp /root/repo/src/storage/hierarchy.hpp \
+ /root/repo/src/storage/fault.hpp /root/repo/src/util/rng.hpp \
  /root/repo/src/storage/tier.hpp /root/repo/src/core/canopus.hpp \
  /root/repo/src/core/byte_split.hpp /root/repo/src/core/campaign.hpp \
  /root/repo/src/core/refactorer.hpp /root/repo/src/core/types.hpp \
@@ -329,4 +330,4 @@ tests/CMakeFiles/transport_test.dir/transport_test.cpp.o: \
  /root/repo/src/core/geometry_cache.hpp \
  /root/repo/src/core/progressive_reader.hpp \
  /root/repo/src/core/transport.hpp /root/repo/src/mesh/generators.hpp \
- /root/repo/src/util/rng.hpp /root/repo/src/util/stats.hpp
+ /root/repo/src/util/stats.hpp

@@ -8,6 +8,7 @@ include("/root/repo/build/tests/util_test[1]_include.cmake")
 include("/root/repo/build/tests/compress_test[1]_include.cmake")
 include("/root/repo/build/tests/mesh_test[1]_include.cmake")
 include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_test[1]_include.cmake")
 include("/root/repo/build/tests/adios_test[1]_include.cmake")
 include("/root/repo/build/tests/core_test[1]_include.cmake")
 include("/root/repo/build/tests/analytics_test[1]_include.cmake")

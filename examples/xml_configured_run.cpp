@@ -5,6 +5,20 @@
 //   $ ./xml_configured_run [--config=path/to/config.xml]
 //
 // Without --config a built-in sample document is used (and printed).
+//
+// Robustness keys (all optional):
+//
+//   <faults seed="42">
+//     <tier name="lustre" read-error="0.1" write-error="0" corrupt="0.01"
+//           latency-spike="0.05" spike-duration="20ms"/>
+//   </faults>
+//   <retry max-attempts="4" backoff="1ms" multiplier="2"/>
+//
+// <faults> wires a seeded storage::FaultInjector into the built hierarchy;
+// each child names a configured tier and gives its failure probabilities
+// (in [0,1]) plus the simulated duration of one latency spike. <retry> tunes
+// the hierarchy's read retry-with-backoff policy (backoff is charged to the
+// simulated clock, so faulty runs stay deterministic and reproducible).
 
 #include <cstdio>
 
@@ -25,6 +39,11 @@ const char* kDefaultConfig = R"(<canopus-config>
   </storage>
   <refactor levels="4" codec="zfp+lzss" error-bound="1e-5"
             estimate="barycentric" priority="shortest"/>
+  <faults seed="2">
+    <tier name="lustre" read-error="0.05" corrupt="0.005"
+          latency-spike="0.02" spike-duration="20ms"/>
+  </faults>
+  <retry max-attempts="4" backoff="1ms" multiplier="2"/>
 </canopus-config>)";
 }
 
@@ -67,5 +86,16 @@ int main(int argc, char** argv) {
               util::max_abs_error(ds.values, reader.values()),
               static_cast<double>(config.refactor.levels) *
                   config.refactor.error_bound);
+  if (const auto* faults = tiers.fault_injector()) {
+    const auto& c = faults->counters();
+    std::printf(
+        "fault model: %llu read errors, %llu corruptions, %llu latency "
+        "spikes injected; reader retried %zu reads (status: %s)\n",
+        static_cast<unsigned long long>(c.read_errors),
+        static_cast<unsigned long long>(c.corruptions),
+        static_cast<unsigned long long>(c.latency_spikes),
+        reader.cumulative().retries,
+        core::to_string(reader.last_status()).c_str());
+  }
   return 0;
 }

@@ -118,6 +118,11 @@ WriteTiming BpWriter::store(BlockRecord record, util::BytesView payload,
     record.tier = static_cast<std::uint32_t>(tier);
     io = result;
   }
+  // Base datasets are the anchor of every progressive read; keep a replica
+  // one tier down so a failing fast tier degrades instead of blocking.
+  if (record.kind == BlockKind::kBase) {
+    hierarchy_.replicate_below(record.tier, record.object_key, payload, &io);
+  }
   t.io_sim_seconds = io.sim_seconds;
   t.io_wall_seconds = io.wall_seconds;
   t.bytes_written = io.bytes;
@@ -211,7 +216,9 @@ void BpWriter::close() {
     meta.put_string(k);
     meta.put_string(v);
   }
-  hierarchy_.place(metadata_key(path_), meta.view());
+  // The metadata object is a single point of failure for the whole container;
+  // replicate it like a base block.
+  hierarchy_.place_with_replica(metadata_key(path_), meta.view());
   closed_ = true;
 }
 
@@ -293,6 +300,9 @@ std::vector<double> BpReader::read_doubles_chunk(const std::string& var,
     timing->io_wall_seconds = io.wall_seconds;
     timing->decompress_seconds = timer.seconds();
     timing->bytes_read = io.bytes;
+    timing->retries = io.retries;
+    timing->corruptions = io.corruptions;
+    timing->from_replica = io.from_replica;
   }
   return values;
 }
@@ -306,6 +316,9 @@ util::Bytes BpReader::read_opaque(const std::string& var, BlockKind kind,
     timing->io_sim_seconds = io.sim_seconds;
     timing->io_wall_seconds = io.wall_seconds;
     timing->bytes_read = io.bytes;
+    timing->retries = io.retries;
+    timing->corruptions = io.corruptions;
+    timing->from_replica = io.from_replica;
   }
   return payload;
 }

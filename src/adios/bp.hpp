@@ -70,12 +70,16 @@ struct VarInfo {
   const BlockRecord* block(BlockKind kind, std::uint32_t level) const&& = delete;
 };
 
-/// Timing breakdown of a read: tier I/O (simulated) vs decompression (wall).
+/// Timing breakdown of a read: tier I/O (simulated) vs decompression (wall),
+/// plus the hierarchy's robustness counters for this read.
 struct ReadTiming {
   double io_sim_seconds = 0.0;
   double io_wall_seconds = 0.0;
   double decompress_seconds = 0.0;
   std::size_t bytes_read = 0;
+  std::uint32_t retries = 0;      // failed tier reads that were retried
+  std::uint32_t corruptions = 0;  // CRC failures among those
+  bool from_replica = false;      // served by a cross-tier replica copy
 };
 
 /// Timing breakdown of a write: compression (wall) vs tier I/O (simulated).

@@ -1,8 +1,10 @@
 #include "core/config.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <sstream>
 
 #include "util/assert.hpp"
@@ -59,6 +61,15 @@ bool parse_bool(const std::string& text) {
   if (text == "true" || text == "1" || text == "yes") return true;
   if (text == "false" || text == "0" || text == "no") return false;
   throw Error("not a boolean: " + text);
+}
+
+double parse_probability(const std::string& text, const std::string& what) {
+  char* end = nullptr;
+  const double p = std::strtod(text.c_str(), &end);
+  CANOPUS_CHECK(end != text.c_str() && *end == '\0',
+                what + " is not a number: " + text);
+  CANOPUS_CHECK(p >= 0.0 && p <= 1.0, what + " must be in [0, 1]: " + text);
+  return p;
 }
 
 }  // namespace
@@ -168,7 +179,82 @@ RuntimeConfig load_config(const std::string& xml_text) {
       rc.tiered_placement = parse_bool(refactor->attr("tiered-placement"));
     }
   }
+
+  if (const auto* faults = root->child("faults")) {
+    if (faults->has_attr("seed")) {
+      config.fault_seed = std::stoull(faults->attr("seed"));
+    }
+    for (const auto* tier : faults->children_named("tier")) {
+      CANOPUS_CHECK(tier->has_attr("name"),
+                    "<faults><tier> needs a name attribute");
+      RuntimeConfig::TierFaults tf;
+      tf.tier_name = tier->attr("name");
+      const bool known = std::any_of(
+          config.tiers.begin(), config.tiers.end(),
+          [&](const storage::TierSpec& s) { return s.name == tf.tier_name; });
+      CANOPUS_CHECK(known, "<faults> names unknown tier '" + tf.tier_name + "'");
+      auto& p = tf.profile;
+      if (tier->has_attr("read-error")) {
+        p.read_error = parse_probability(tier->attr("read-error"), "read-error");
+      }
+      if (tier->has_attr("write-error")) {
+        p.write_error =
+            parse_probability(tier->attr("write-error"), "write-error");
+      }
+      if (tier->has_attr("corrupt")) {
+        p.corrupt = parse_probability(tier->attr("corrupt"), "corrupt");
+      }
+      if (tier->has_attr("latency-spike")) {
+        p.latency_spike =
+            parse_probability(tier->attr("latency-spike"), "latency-spike");
+      }
+      if (tier->has_attr("spike-duration")) {
+        p.spike_seconds = parse_duration(tier->attr("spike-duration"));
+      }
+      config.faults.push_back(std::move(tf));
+    }
+  }
+
+  if (const auto* retry = root->child("retry")) {
+    storage::RetryPolicy policy;
+    if (retry->has_attr("max-attempts")) {
+      policy.max_attempts = static_cast<std::uint32_t>(
+          std::stoul(retry->attr("max-attempts")));
+      CANOPUS_CHECK(policy.max_attempts >= 1, "max-attempts must be >= 1");
+    }
+    if (retry->has_attr("backoff")) {
+      policy.backoff_seconds = parse_duration(retry->attr("backoff"));
+    }
+    if (retry->has_attr("multiplier")) {
+      policy.backoff_multiplier = std::stod(retry->attr("multiplier"));
+      CANOPUS_CHECK(policy.backoff_multiplier >= 1.0,
+                    "backoff multiplier must be >= 1");
+    }
+    config.retry = policy;
+  }
   return config;
+}
+
+storage::StorageHierarchy RuntimeConfig::make_hierarchy() const {
+  storage::StorageHierarchy hierarchy(tiers, policy);
+  if (!faults.empty()) {
+    auto injector = std::make_shared<storage::FaultInjector>(fault_seed);
+    for (const auto& tf : faults) {
+      bool matched = false;
+      for (std::size_t i = 0; i < tiers.size(); ++i) {
+        if (tiers[i].name == tf.tier_name) {
+          injector->set_profile(i, tf.profile);
+          matched = true;
+          break;
+        }
+      }
+      CANOPUS_CHECK(matched, "fault profile names unknown tier '" +
+                                 tf.tier_name + "'");
+    }
+    hierarchy.attach_fault_injector(std::move(injector));
+  }
+  if (retry) hierarchy.set_retry_policy(*retry);
+  return hierarchy;
 }
 
 RuntimeConfig load_config_file(const std::string& path) {

@@ -17,17 +17,30 @@
 //     <refactor levels="3" step="2" codec="zfp" error-bound="1e-6"
 //               estimate="uniform" priority="shortest"
 //               tiered-placement="true"/>
+//     <faults seed="42">
+//       <tier name="lustre" read-error="0.1" corrupt="0.01"
+//             latency-spike="0.05" spike-duration="20ms"/>
+//     </faults>
+//     <retry max-attempts="4" backoff="1ms" multiplier="2"/>
 //   </canopus-config>
 //
 // Presets (tmpfs, nvram, ssd, burst-buffer, lustre, campaign) pull the
 // envelope from storage/tier.hpp; explicit attributes override preset
 // fields. Sizes accept B/KiB/MiB/GiB/TiB (and KB/MB/GB/TB as powers of ten),
 // rates accept .../s of the same units, durations accept ns/us/ms/s.
+//
+// The optional <faults> section wires a seeded storage::FaultInjector into
+// the hierarchy: each <tier name="..."> child names a configured tier and
+// sets its failure probabilities (read-error, write-error, corrupt,
+// latency-spike in [0,1]; spike-duration as a duration). <retry> tunes the
+// hierarchy's read retry-with-backoff policy.
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/types.hpp"
+#include "storage/fault.hpp"
 #include "storage/hierarchy.hpp"
 
 namespace canopus::core {
@@ -37,10 +50,18 @@ struct RuntimeConfig {
   storage::PlacementPolicy policy = storage::PlacementPolicy::kFastestFit;
   RefactorConfig refactor;
 
-  /// Builds the configured hierarchy.
-  storage::StorageHierarchy make_hierarchy() const {
-    return storage::StorageHierarchy(tiers, policy);
-  }
+  /// Fault-injection plan: seed + per-tier profiles, matched by tier name.
+  struct TierFaults {
+    std::string tier_name;
+    storage::FaultProfile profile;
+  };
+  std::uint64_t fault_seed = 0;
+  std::vector<TierFaults> faults;
+  std::optional<storage::RetryPolicy> retry;
+
+  /// Builds the configured hierarchy, with the fault injector attached and
+  /// the retry policy applied when the document configured them.
+  storage::StorageHierarchy make_hierarchy() const;
 };
 
 /// Parses a configuration document; throws Error with a description of the

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "core/delta.hpp"
+#include "storage/blob_frame.hpp"
+#include "storage/fault.hpp"
 #include "util/assert.hpp"
 
 namespace canopus::core {
@@ -12,8 +14,34 @@ RetrievalTimings& RetrievalTimings::operator+=(const RetrievalTimings& o) {
   decompress_seconds += o.decompress_seconds;
   restore_seconds += o.restore_seconds;
   bytes_read += o.bytes_read;
+  retries += o.retries;
+  corruptions_detected += o.corruptions_detected;
+  replica_reads += o.replica_reads;
+  degraded_steps += o.degraded_steps;
   return *this;
 }
+
+std::string to_string(RefineStatus status) {
+  switch (status) {
+    case RefineStatus::kOk: return "ok";
+    case RefineStatus::kRetried: return "retried";
+    case RefineStatus::kDegraded: return "degraded";
+  }
+  CANOPUS_UNREACHABLE("unknown refine status");
+}
+
+namespace {
+/// Folds one block read's timing (including the hierarchy's robustness
+/// counters) into the step accumulator.
+void fold(const adios::ReadTiming& t, RetrievalTimings& step) {
+  step.io_seconds += t.io_sim_seconds;
+  step.decompress_seconds += t.decompress_seconds;
+  step.bytes_read += t.bytes_read;
+  step.retries += t.retries;
+  step.corruptions_detected += t.corruptions;
+  if (t.from_replica) ++step.replica_reads;
+}
+}  // namespace
 
 ProgressiveReader::ProgressiveReader(storage::StorageHierarchy& hierarchy,
                                      const std::string& path, std::string var,
@@ -32,6 +60,9 @@ ProgressiveReader::ProgressiveReader(storage::StorageHierarchy& hierarchy,
                 "geometry cache does not match this container");
 
   current_level_ = static_cast<std::uint32_t>(levels_ - 1);
+  // The base retrieval rides on the hierarchy's retries + replica fallback
+  // (BpWriter replicates base blocks); with no copy left there is nothing to
+  // degrade to, so a failure here propagates.
   adios::ReadTiming data_t;
   values_ = reader_.read_doubles(var_, adios::BlockKind::kBase, current_level_,
                                  &data_t);
@@ -43,12 +74,9 @@ ProgressiveReader::ProgressiveReader(storage::StorageHierarchy& hierarchy,
     util::WallTimer t;
     mesh_ = mesh::TriMesh::deserialize(br);
     cumulative_.restore_seconds += t.seconds();
-    cumulative_.io_seconds += mesh_t.io_sim_seconds;
-    cumulative_.bytes_read += mesh_t.bytes_read;
+    fold(mesh_t, cumulative_);
   }
-  cumulative_.io_seconds += data_t.io_sim_seconds;
-  cumulative_.decompress_seconds += data_t.decompress_seconds;
-  cumulative_.bytes_read += data_t.bytes_read;
+  fold(data_t, cumulative_);
   CANOPUS_CHECK(values_.size() == current_mesh().vertex_count(),
                 "base level inconsistent with its mesh");
 }
@@ -86,9 +114,7 @@ mesh::Field read_all_delta_chunks(const adios::BpReader& reader,
     adios::ReadTiming t;
     const auto part =
         reader.read_doubles_chunk(var, adios::BlockKind::kDelta, level, c, &t);
-    step.io_seconds += t.io_sim_seconds;
-    step.decompress_seconds += t.decompress_seconds;
-    step.bytes_read += t.bytes_read;
+    fold(t, step);
     delta.insert(delta.end(), part.begin(), part.end());
   }
   return delta;
@@ -108,43 +134,63 @@ mesh::Field unpermute_delta(const mesh::Field& stored, const mesh::TriMesh& fine
 }
 }  // namespace
 
+RetrievalTimings ProgressiveReader::degrade(RetrievalTimings step) {
+  // The fetch failed after retries and replica fallback: keep the last good
+  // level (values_/mesh_/current_level_ were not touched yet) and surface the
+  // outcome as a status, not an exception — analytics continue on what they
+  // have, exactly the elastic-accuracy contract.
+  step.degraded_steps += 1;
+  last_status_ = RefineStatus::kDegraded;
+  cumulative_ += step;
+  return step;
+}
+
 RetrievalTimings ProgressiveReader::refine() {
   CANOPUS_CHECK(current_level_ > 0, "already at full accuracy");
   const std::uint32_t next = current_level_ - 1;
 
   RetrievalTimings step;
-  bool chunked = false;
-  mesh::Field delta = read_all_delta_chunks(reader_, var_, next, step, chunked);
-  // Note: partially_refined_ stays sticky — once a coarser level skipped
-  // chunks, values outside that region remain approximate no matter how many
-  // full deltas are applied on top.
+  try {
+    bool chunked = false;
+    mesh::Field delta = read_all_delta_chunks(reader_, var_, next, step, chunked);
+    // Note: partially_refined_ stays sticky — once a coarser level skipped
+    // chunks, values outside that region remain approximate no matter how many
+    // full deltas are applied on top.
 
-  if (geometry_) {
-    util::WallTimer t;
-    if (chunked) delta = unpermute_delta(delta, geometry_->meshes[next]);
-    values_ = restore_level(geometry_->meshes[current_level_], values_, delta,
-                            geometry_->mappings[next], estimate_);
-    step.restore_seconds = t.seconds();
-  } else {
-    adios::ReadTiming map_t, mesh_t;
-    const auto map_raw =
-        reader_.read_opaque(var_, adios::BlockKind::kMapping, next, &map_t);
-    const auto mesh_raw =
-        reader_.read_opaque(var_, adios::BlockKind::kMesh, next, &mesh_t);
-    step.io_seconds += map_t.io_sim_seconds + mesh_t.io_sim_seconds;
-    step.bytes_read += map_t.bytes_read + mesh_t.bytes_read;
+    if (geometry_) {
+      util::WallTimer t;
+      if (chunked) delta = unpermute_delta(delta, geometry_->meshes[next]);
+      values_ = restore_level(geometry_->meshes[current_level_], values_, delta,
+                              geometry_->mappings[next], estimate_);
+      step.restore_seconds = t.seconds();
+    } else {
+      adios::ReadTiming map_t, mesh_t;
+      const auto map_raw =
+          reader_.read_opaque(var_, adios::BlockKind::kMapping, next, &map_t);
+      const auto mesh_raw =
+          reader_.read_opaque(var_, adios::BlockKind::kMesh, next, &mesh_t);
+      fold(map_t, step);
+      fold(mesh_t, step);
 
-    util::WallTimer t;
-    util::ByteReader mesh_reader(mesh_raw);
-    const auto fine_mesh = mesh::TriMesh::deserialize(mesh_reader);
-    if (chunked) delta = unpermute_delta(delta, fine_mesh);
-    util::ByteReader map_reader(map_raw);
-    const auto mapping = VertexMapping::deserialize(map_reader);
-    values_ = restore_level(mesh_, values_, delta, mapping, estimate_);
-    mesh_ = fine_mesh;
-    step.restore_seconds = t.seconds();
+      util::WallTimer t;
+      util::ByteReader mesh_reader(mesh_raw);
+      const auto fine_mesh = mesh::TriMesh::deserialize(mesh_reader);
+      if (chunked) delta = unpermute_delta(delta, fine_mesh);
+      util::ByteReader map_reader(map_raw);
+      const auto mapping = VertexMapping::deserialize(map_reader);
+      values_ = restore_level(mesh_, values_, delta, mapping, estimate_);
+      mesh_ = fine_mesh;
+      step.restore_seconds = t.seconds();
+    }
+  } catch (const storage::TierIoError&) {
+    return degrade(std::move(step));
+  } catch (const storage::IntegrityError&) {
+    return degrade(std::move(step));
   }
   current_level_ = next;
+  last_status_ = step.retries > 0 || step.replica_reads > 0
+                     ? RefineStatus::kRetried
+                     : RefineStatus::kOk;
   CANOPUS_CHECK(values_.size() == current_mesh().vertex_count(),
                 "restored level inconsistent with its mesh");
   cumulative_ += step;
@@ -156,6 +202,7 @@ RetrievalTimings ProgressiveReader::refine_region(const mesh::Aabb& roi) {
   const std::uint32_t next = current_level_ - 1;
 
   // Without a chunk index the delta is monolithic: fall back to full refine.
+  // A faulted index read, by contrast, degrades like any other failed fetch.
   ChunkIndex index;
   try {
     RetrievalTimings probe;  // folded into the step below
@@ -164,56 +211,66 @@ RetrievalTimings ProgressiveReader::refine_region(const mesh::Aabb& roi) {
         reader_.read_opaque(var_, adios::BlockKind::kChunkIndex, next, &t);
     util::ByteReader br(raw);
     index = ChunkIndex::deserialize(br);
-    probe.io_seconds = t.io_sim_seconds;
-    probe.bytes_read = t.bytes_read;
+    fold(t, probe);
     cumulative_ += probe;
+  } catch (const storage::TierIoError&) {
+    return degrade(RetrievalTimings{});
+  } catch (const storage::IntegrityError&) {
+    return degrade(RetrievalTimings{});
   } catch (const Error&) {
     return refine();
   }
 
   RetrievalTimings step;
-  std::size_t fine_count = 0;
-  for (const auto& c : index.chunks) fine_count += c.count;
-  // Delta in Morton storage order; unfetched chunks stay zero (estimate-only).
-  mesh::Field stored(fine_count, 0.0);
-  for (std::uint32_t c : index.intersecting(roi)) {
-    adios::ReadTiming t;
-    const auto part =
-        reader_.read_doubles_chunk(var_, adios::BlockKind::kDelta, next, c, &t);
-    step.io_seconds += t.io_sim_seconds;
-    step.decompress_seconds += t.decompress_seconds;
-    step.bytes_read += t.bytes_read;
-    CANOPUS_CHECK(part.size() == index.chunks[c].count,
-                  "chunk size inconsistent with its index");
-    std::copy(part.begin(), part.end(),
-              stored.begin() + static_cast<long>(index.chunks[c].start));
-  }
+  try {
+    std::size_t fine_count = 0;
+    for (const auto& c : index.chunks) fine_count += c.count;
+    // Delta in Morton storage order; unfetched chunks stay zero (estimate-only).
+    mesh::Field stored(fine_count, 0.0);
+    for (std::uint32_t c : index.intersecting(roi)) {
+      adios::ReadTiming t;
+      const auto part =
+          reader_.read_doubles_chunk(var_, adios::BlockKind::kDelta, next, c, &t);
+      fold(t, step);
+      CANOPUS_CHECK(part.size() == index.chunks[c].count,
+                    "chunk size inconsistent with its index");
+      std::copy(part.begin(), part.end(),
+                stored.begin() + static_cast<long>(index.chunks[c].start));
+    }
 
-  if (geometry_) {
-    util::WallTimer t;
-    const auto delta = unpermute_delta(stored, geometry_->meshes[next]);
-    values_ = restore_level(geometry_->meshes[current_level_], values_, delta,
-                            geometry_->mappings[next], estimate_);
-    step.restore_seconds = t.seconds();
-  } else {
-    adios::ReadTiming map_t, mesh_t;
-    const auto map_raw =
-        reader_.read_opaque(var_, adios::BlockKind::kMapping, next, &map_t);
-    const auto mesh_raw =
-        reader_.read_opaque(var_, adios::BlockKind::kMesh, next, &mesh_t);
-    step.io_seconds += map_t.io_sim_seconds + mesh_t.io_sim_seconds;
-    step.bytes_read += map_t.bytes_read + mesh_t.bytes_read;
-    util::WallTimer t;
-    util::ByteReader mesh_reader(mesh_raw);
-    const auto fine_mesh = mesh::TriMesh::deserialize(mesh_reader);
-    const auto delta = unpermute_delta(stored, fine_mesh);
-    util::ByteReader map_reader(map_raw);
-    const auto mapping = VertexMapping::deserialize(map_reader);
-    values_ = restore_level(mesh_, values_, delta, mapping, estimate_);
-    mesh_ = fine_mesh;
-    step.restore_seconds = t.seconds();
+    if (geometry_) {
+      util::WallTimer t;
+      const auto delta = unpermute_delta(stored, geometry_->meshes[next]);
+      values_ = restore_level(geometry_->meshes[current_level_], values_, delta,
+                              geometry_->mappings[next], estimate_);
+      step.restore_seconds = t.seconds();
+    } else {
+      adios::ReadTiming map_t, mesh_t;
+      const auto map_raw =
+          reader_.read_opaque(var_, adios::BlockKind::kMapping, next, &map_t);
+      const auto mesh_raw =
+          reader_.read_opaque(var_, adios::BlockKind::kMesh, next, &mesh_t);
+      fold(map_t, step);
+      fold(mesh_t, step);
+      util::WallTimer t;
+      util::ByteReader mesh_reader(mesh_raw);
+      const auto fine_mesh = mesh::TriMesh::deserialize(mesh_reader);
+      const auto delta = unpermute_delta(stored, fine_mesh);
+      util::ByteReader map_reader(map_raw);
+      const auto mapping = VertexMapping::deserialize(map_reader);
+      values_ = restore_level(mesh_, values_, delta, mapping, estimate_);
+      mesh_ = fine_mesh;
+      step.restore_seconds = t.seconds();
+    }
+  } catch (const storage::TierIoError&) {
+    return degrade(std::move(step));
+  } catch (const storage::IntegrityError&) {
+    return degrade(std::move(step));
   }
   current_level_ = next;
+  last_status_ = step.retries > 0 || step.replica_reads > 0
+                     ? RefineStatus::kRetried
+                     : RefineStatus::kOk;
   partially_refined_ = true;
   CANOPUS_CHECK(values_.size() == current_mesh().vertex_count(),
                 "restored level inconsistent with its mesh");
@@ -224,7 +281,10 @@ RetrievalTimings ProgressiveReader::refine_region(const mesh::Aabb& roi) {
 RetrievalTimings ProgressiveReader::refine_to(std::uint32_t level) {
   CANOPUS_CHECK(level < levels_, "level out of range");
   RetrievalTimings acc;
-  while (current_level_ > level) acc += refine();
+  while (current_level_ > level) {
+    acc += refine();
+    if (last_status_ == RefineStatus::kDegraded) break;
+  }
   return acc;
 }
 
@@ -234,6 +294,7 @@ RetrievalTimings ProgressiveReader::refine_until(double rmse_threshold) {
     const mesh::Field before = values_;          // values at the coarser level
     const mesh::TriMesh coarse = current_mesh(); // its mesh (for the estimate)
     acc += refine();
+    if (last_status_ == RefineStatus::kDegraded) break;
     // The paper's automated criterion is the RMSE between adjacent levels;
     // that is exactly the RMS of the delta just applied (values - estimate),
     // so recompute the estimate from the coarser level and difference it.

@@ -19,16 +19,31 @@
 
 namespace canopus::core {
 
-/// Cumulative phase timings of all retrieval steps so far.
+/// Cumulative phase timings of all retrieval steps so far, plus the
+/// robustness counters of the degraded-path machinery (retries, detected
+/// corruption, replica fallbacks, refinement steps that gave up).
 struct RetrievalTimings {
   double io_seconds = 0.0;          // simulated tier I/O
   double decompress_seconds = 0.0;  // wall
   double restore_seconds = 0.0;     // wall
   std::size_t bytes_read = 0;
+  std::size_t retries = 0;               // failed tier reads that were retried
+  std::size_t corruptions_detected = 0;  // CRC failures among those
+  std::size_t replica_reads = 0;         // reads served by a replica copy
+  std::size_t degraded_steps = 0;        // refine() calls that gave up
 
   double total() const { return io_seconds + decompress_seconds + restore_seconds; }
   RetrievalTimings& operator+=(const RetrievalTimings& o);
 };
+
+/// Outcome of one refinement step.
+enum class RefineStatus : std::uint8_t {
+  kOk = 0,       // level advanced, no faults along the way
+  kRetried = 1,  // level advanced after retries and/or a replica fallback
+  kDegraded = 2, // delta unavailable: the reader kept the last good level
+};
+
+std::string to_string(RefineStatus status);
 
 class ProgressiveReader {
  public:
@@ -59,7 +74,16 @@ class ProgressiveReader {
 
   /// One refinement step: fetch delta^{(level-1)-level}, decompress, restore.
   /// Returns the step's timings. Throws when already at full accuracy.
+  ///
+  /// Failure-prone tiers never surface as exceptions here: when a delta (or
+  /// its mesh/mapping) stays unreadable after the hierarchy's retries and
+  /// replica fallback, the step reports RefineStatus::kDegraded via
+  /// last_status(), the reader keeps the last good accuracy level, and
+  /// analytics continue on it (degraded_steps counts the give-ups).
   RetrievalTimings refine();
+
+  /// Outcome of the most recent refine()/refine_region() call.
+  RefineStatus last_status() const { return last_status_; }
 
   /// Focused refinement (Section III-E / IV-D): fetch only the delta chunks
   /// whose extent intersects `roi` and restore the next level with full
@@ -74,18 +98,23 @@ class ProgressiveReader {
   /// because a region-of-interest refinement skipped their delta chunks.
   bool partially_refined() const { return partially_refined_; }
 
-  /// Refines until `level` (inclusive); returns accumulated step timings.
+  /// Refines until `level` (inclusive) or a step degrades (check
+  /// last_status()); returns accumulated step timings.
   RetrievalTimings refine_to(std::uint32_t level);
 
   /// Automated termination (Section III-E): refines until the RMS change
   /// between consecutive levels drops below `rmse_threshold` (computed on the
-  /// refined level against its estimate) or full accuracy is reached.
+  /// refined level against its estimate), full accuracy is reached, or a
+  /// step degrades.
   RetrievalTimings refine_until(double rmse_threshold);
 
   /// Timings accumulated since open (includes the base retrieval).
   const RetrievalTimings& cumulative() const { return cumulative_; }
 
  private:
+  /// Records a failed step: counts it, sets kDegraded, keeps reader state.
+  RetrievalTimings degrade(RetrievalTimings step);
+
   storage::StorageHierarchy& hierarchy_;
   adios::BpReader reader_;
   std::string var_;
@@ -94,6 +123,7 @@ class ProgressiveReader {
   EstimateMode estimate_ = EstimateMode::kUniformThirds;
 
   std::uint32_t current_level_ = 0;
+  RefineStatus last_status_ = RefineStatus::kOk;
   bool partially_refined_ = false;
   mesh::TriMesh mesh_;  // only populated when geometry_ is null
   mesh::Field values_;

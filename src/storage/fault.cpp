@@ -1,0 +1,72 @@
+#include "storage/fault.hpp"
+
+namespace canopus::storage {
+
+namespace {
+const FaultProfile kInertProfile{};
+
+void check_probability(double p, const char* name) {
+  CANOPUS_CHECK(p >= 0.0 && p <= 1.0,
+                std::string("fault probability '") + name +
+                    "' must be in [0, 1]");
+}
+}  // namespace
+
+void FaultInjector::set_profile(std::size_t tier, const FaultProfile& profile) {
+  check_probability(profile.read_error, "read_error");
+  check_probability(profile.write_error, "write_error");
+  check_probability(profile.corrupt, "corrupt");
+  check_probability(profile.latency_spike, "latency_spike");
+  CANOPUS_CHECK(profile.spike_seconds >= 0.0, "spike_seconds must be >= 0");
+  if (tier >= profiles_.size()) profiles_.resize(tier + 1);
+  profiles_[tier] = profile;
+}
+
+const FaultProfile& FaultInjector::profile(std::size_t tier) const {
+  return tier < profiles_.size() ? profiles_[tier] : kInertProfile;
+}
+
+FaultDecision FaultInjector::on_read(std::size_t tier) {
+  const auto& p = profile(tier);
+  FaultDecision d;
+  if (!p.active()) return d;
+  // Fixed-shape draw: four values per consult, independent of outcomes, so
+  // the decision stream is a pure function of (seed, operation sequence).
+  const double fail_draw = rng_.uniform();
+  const double corrupt_draw = rng_.uniform();
+  const double spike_draw = rng_.uniform();
+  d.corrupt_bit = rng_.next_u64();
+  if (spike_draw < p.latency_spike) {
+    d.extra_seconds = p.spike_seconds;
+    ++counters_.latency_spikes;
+  }
+  if (fail_draw < p.read_error) {
+    d.fail = true;
+    ++counters_.read_errors;
+    return d;
+  }
+  if (corrupt_draw < p.corrupt) {
+    d.corrupt = true;
+    ++counters_.corruptions;
+  }
+  return d;
+}
+
+FaultDecision FaultInjector::on_write(std::size_t tier) {
+  const auto& p = profile(tier);
+  FaultDecision d;
+  if (!p.active()) return d;
+  const double fail_draw = rng_.uniform();
+  const double spike_draw = rng_.uniform();
+  if (spike_draw < p.latency_spike) {
+    d.extra_seconds = p.spike_seconds;
+    ++counters_.latency_spikes;
+  }
+  if (fail_draw < p.write_error) {
+    d.fail = true;
+    ++counters_.write_errors;
+  }
+  return d;
+}
+
+}  // namespace canopus::storage

@@ -1,5 +1,9 @@
 #include "storage/hierarchy.hpp"
 
+#include <algorithm>
+#include <exception>
+
+#include "storage/blob_frame.hpp"
 #include "util/assert.hpp"
 
 namespace canopus::storage {
@@ -58,11 +62,98 @@ IoResult StorageHierarchy::write_to(std::size_t tier_index, const std::string& k
   return tiers_[tier_index]->write(key, data);
 }
 
+std::pair<std::size_t, IoResult> StorageHierarchy::place_with_replica(
+    const std::string& key, util::BytesView data) {
+  auto [primary, io] = place(key, data);
+  replicate_below(primary, key, data, &io);
+  return {primary, io};
+}
+
+std::optional<std::size_t> StorageHierarchy::replicate_below(
+    std::size_t primary, const std::string& key, util::BytesView data,
+    IoResult* io) {
+  CANOPUS_ASSERT(primary < tiers_.size());
+  const auto rkey = replica_key(key);
+  for (std::size_t t = primary + 1; t < tiers_.size(); ++t) {
+    if (!tiers_[t]->fits(data.size())) continue;
+    try {
+      const auto rio = tiers_[t]->write(rkey, data);
+      if (io) {
+        io->sim_seconds += rio.sim_seconds;
+        io->wall_seconds += rio.wall_seconds;
+      }
+      return t;
+    } catch (const TierIoError&) {
+      // Replica writes are opportunistic: an injected failure leaves the
+      // object unreplicated rather than failing the caller's write.
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> StorageHierarchy::replica_tier(
+    const std::string& key) const {
+  return find(replica_key(key));
+}
+
+std::string StorageHierarchy::replica_key(const std::string& key) {
+  return key + "#replica";
+}
+
+bool StorageHierarchy::read_attempts(std::size_t tier, const std::string& key,
+                                     util::Bytes& out, IoResult& acc,
+                                     std::exception_ptr& error) const {
+  double backoff = retry_.backoff_seconds;
+  const std::uint32_t attempts = std::max<std::uint32_t>(1, retry_.max_attempts);
+  for (std::uint32_t attempt = 0; attempt < attempts; ++attempt) {
+    try {
+      const auto io = tiers_[tier]->read(key, out);
+      acc.sim_seconds += io.sim_seconds;
+      acc.wall_seconds += io.wall_seconds;
+      acc.bytes = io.bytes;
+      return true;
+    } catch (const IntegrityError&) {
+      ++acc.corruptions;
+      error = std::current_exception();
+    } catch (const TierIoError&) {
+      error = std::current_exception();
+    }
+    ++acc.retries;
+    // A failed attempt still pays the transfer, plus the backoff delay on the
+    // simulated clock (wall time stays honest: nothing actually slept).
+    acc.sim_seconds +=
+        tiers_[tier]->read_cost(tiers_[tier]->object_size(key)) + backoff;
+    backoff *= retry_.backoff_multiplier;
+  }
+  return false;
+}
+
 IoResult StorageHierarchy::read(const std::string& key, util::Bytes& out) const {
   const auto where = find(key);
   CANOPUS_CHECK(where.has_value(), "object '" + key + "' not in hierarchy");
   touch(key);
-  return tiers_[*where]->read(key, out);
+  IoResult acc;
+  std::exception_ptr error;
+  if (read_attempts(*where, key, out, acc, error)) {
+    CANOPUS_CHECK(out.size() == tiers_[*where]->object_size(key),
+                  "short read of '" + key + "': got " +
+                      std::to_string(out.size()) + " of " +
+                      std::to_string(tiers_[*where]->object_size(key)) +
+                      " bytes");
+    return acc;
+  }
+  // Primary copy exhausted its attempts: fall back to the replica, if any.
+  const auto rkey = replica_key(key);
+  const auto rtier = find(rkey);
+  if (rtier.has_value() && read_attempts(*rtier, rkey, out, acc, error)) {
+    acc.from_replica = true;
+    CANOPUS_CHECK(out.size() == tiers_[*rtier]->object_size(rkey),
+                  "short read of replica '" + rkey + "'");
+    return acc;
+  }
+  CANOPUS_ASSERT(error != nullptr);
+  std::rethrow_exception(error);
 }
 
 std::optional<std::size_t> StorageHierarchy::find(const std::string& key) const {
@@ -73,8 +164,20 @@ std::optional<std::size_t> StorageHierarchy::find(const std::string& key) const 
 }
 
 void StorageHierarchy::erase(const std::string& key) {
-  for (auto& t : tiers_) t->erase(key);
+  const auto rkey = replica_key(key);
+  for (auto& t : tiers_) {
+    t->erase(key);
+    t->erase(rkey);
+  }
   last_access_.erase(key);
+}
+
+void StorageHierarchy::attach_fault_injector(
+    std::shared_ptr<FaultInjector> faults) {
+  faults_ = std::move(faults);
+  for (std::size_t i = 0; i < tiers_.size(); ++i) {
+    tiers_[i]->set_fault_injector(faults_.get(), i);
+  }
 }
 
 void StorageHierarchy::touch(const std::string& key) const {

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "storage/fault.hpp"
 #include "storage/tier.hpp"
 
 namespace canopus::storage {
@@ -21,6 +22,14 @@ enum class PlacementPolicy : std::uint8_t {
   kFastestFit,   // paper default: fastest tier with room, bypass when full
   kSlowestOnly,  // everything on the last tier (the "no hierarchy" baseline)
   kRoundRobin,   // stripe objects across tiers (ablation)
+};
+
+/// Retry-with-backoff knobs for reads against failure-prone tiers. Backoff is
+/// charged to the simulated clock (sim_seconds), keeping runs deterministic.
+struct RetryPolicy {
+  std::uint32_t max_attempts = 4;     // per copy (primary, then replica)
+  double backoff_seconds = 1e-3;      // sim-clock delay before the 1st retry
+  double backoff_multiplier = 2.0;    // exponential growth per retry
 };
 
 class StorageHierarchy {
@@ -42,11 +51,40 @@ class StorageHierarchy {
   std::pair<std::size_t, IoResult> place(const std::string& key,
                                          util::BytesView data);
 
+  /// place() plus a best-effort replica on the next tier down (see
+  /// replicate_below). The replica's write cost is folded into the returned
+  /// IoResult so planning sees the true total I/O.
+  std::pair<std::size_t, IoResult> place_with_replica(const std::string& key,
+                                                      util::BytesView data);
+
+  /// Best-effort durability: writes a second copy of `data` under the
+  /// replica key on the first tier below `primary` with room. Injected write
+  /// faults are swallowed (a replica is opportunistic, never load-bearing for
+  /// the write path). Returns the replica tier, or nullopt when no lower tier
+  /// fits or the write faulted; adds the replica's cost to *io when given.
+  std::optional<std::size_t> replicate_below(std::size_t primary,
+                                             const std::string& key,
+                                             util::BytesView data,
+                                             IoResult* io = nullptr);
+
+  /// Tier holding the replica copy of `key`, or nullopt.
+  std::optional<std::size_t> replica_tier(const std::string& key) const;
+
+  /// Internal object name of the replica copy of `key`.
+  static std::string replica_key(const std::string& key);
+
   /// Writes to an explicit tier (used when a placement plan is precomputed).
   IoResult write_to(std::size_t tier_index, const std::string& key,
                     util::BytesView data);
 
-  /// Reads an object from whichever tier holds it.
+  /// Reads an object from whichever tier holds it, retrying per the
+  /// RetryPolicy when a tier read fails or fails verification, then falling
+  /// back to the replica copy (if one exists) once primary attempts are
+  /// exhausted. The returned IoResult carries the retry/corruption counters
+  /// and whether the replica served the read; its sim_seconds include the
+  /// cost of failed attempts and backoff. Throws TierIoError/IntegrityError
+  /// only when every copy is exhausted; always verifies that the bytes
+  /// returned match the recorded object size.
   IoResult read(const std::string& key, util::Bytes& out) const;
 
   /// Tier currently holding the object, or nullopt.
@@ -68,11 +106,28 @@ class StorageHierarchy {
   /// (e.g. lower tiers are full too).
   std::vector<std::string> make_room(std::size_t tier, std::size_t bytes);
 
+  // --- Robustness (fault injection, retries, replicas). -------------------
+
+  /// Routes every tier's I/O through `faults` (shared so a returned-by-value
+  /// hierarchy keeps it alive). Pass nullptr to detach.
+  void attach_fault_injector(std::shared_ptr<FaultInjector> faults);
+  FaultInjector* fault_injector() const { return faults_.get(); }
+
+  void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_; }
+
  private:
   void touch(const std::string& key) const;
+  /// One bounded attempt loop against the copy of `key` on `tier`; folds
+  /// failed-attempt costs and counters into `acc`. Returns success; stores the
+  /// last failure in `error`.
+  bool read_attempts(std::size_t tier, const std::string& key, util::Bytes& out,
+                     IoResult& acc, std::exception_ptr& error) const;
 
   std::vector<std::unique_ptr<StorageTier>> tiers_;
   PlacementPolicy policy_;
+  std::shared_ptr<FaultInjector> faults_;
+  RetryPolicy retry_;
   mutable std::size_t round_robin_next_ = 0;
   // LRU bookkeeping: monotone clock, last-access stamp per key.
   mutable std::uint64_t access_clock_ = 0;

@@ -3,6 +3,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include "storage/blob_frame.hpp"
+#include "storage/fault.hpp"
 #include "util/assert.hpp"
 #include "util/timer.hpp"
 
@@ -19,6 +21,12 @@ StorageTier::StorageTier(TierSpec spec) : spec_(std::move(spec)) {
   }
 }
 
+void StorageTier::set_fault_injector(FaultInjector* injector,
+                                     std::size_t tier_index) {
+  faults_ = injector;
+  fault_index_ = tier_index;
+}
+
 std::string StorageTier::path_for(const std::string& key) const {
   std::string sanitized = key;
   for (char& c : sanitized) {
@@ -31,55 +39,73 @@ IoResult StorageTier::write(const std::string& key, util::BytesView data) {
   const std::size_t existing = contains(key) ? object_size(key) : 0;
   CANOPUS_CHECK(used_ - existing + data.size() <= spec_.capacity_bytes,
                 "tier '" + spec_.name + "' over capacity");
+  double extra_seconds = 0.0;
+  if (faults_) {
+    const auto d = faults_->on_write(fault_index_);
+    if (d.fail) {
+      throw TierIoError("injected write failure on tier '" + spec_.name +
+                        "' for '" + key + "'");
+    }
+    extra_seconds = d.extra_seconds;
+  }
   util::WallTimer timer;
+  const util::Bytes framed = frame_blob(data);
   if (spec_.backend == Backend::kMemory) {
-    memory_[key] = util::Bytes(data.begin(), data.end());
+    memory_[key] = framed;
   } else {
     std::ofstream f(path_for(key), std::ios::binary | std::ios::trunc);
     CANOPUS_CHECK(f.good(), "cannot open " + path_for(key));
-    f.write(reinterpret_cast<const char*>(data.data()),
-            static_cast<std::streamsize>(data.size()));
+    f.write(reinterpret_cast<const char*>(framed.data()),
+            static_cast<std::streamsize>(framed.size()));
     CANOPUS_CHECK(f.good(), "write failed: " + path_for(key));
-    file_sizes_[key] = data.size();
   }
+  payload_sizes_[key] = data.size();
   used_ = used_ - existing + data.size();
-  return IoResult{write_cost(data.size()), timer.seconds(), data.size()};
+  return IoResult{write_cost(data.size()) + extra_seconds, timer.seconds(),
+                  data.size()};
 }
 
 IoResult StorageTier::read(const std::string& key, util::Bytes& out) const {
   util::WallTimer timer;
+  const auto size_it = payload_sizes_.find(key);
+  CANOPUS_CHECK(size_it != payload_sizes_.end(),
+                "object '" + key + "' not on tier '" + spec_.name + "'");
+  util::Bytes framed;
   if (spec_.backend == Backend::kMemory) {
-    auto it = memory_.find(key);
-    CANOPUS_CHECK(it != memory_.end(),
-                  "object '" + key + "' not on tier '" + spec_.name + "'");
-    out = it->second;
+    framed = memory_.at(key);
   } else {
-    auto it = file_sizes_.find(key);
-    CANOPUS_CHECK(it != file_sizes_.end(),
-                  "object '" + key + "' not on tier '" + spec_.name + "'");
     std::ifstream f(path_for(key), std::ios::binary);
     CANOPUS_CHECK(f.good(), "cannot open " + path_for(key));
-    out.resize(it->second);
-    f.read(reinterpret_cast<char*>(out.data()),
-           static_cast<std::streamsize>(out.size()));
+    framed.resize(framed_size(size_it->second));
+    f.read(reinterpret_cast<char*>(framed.data()),
+           static_cast<std::streamsize>(framed.size()));
     CANOPUS_CHECK(f.good(), "read failed: " + path_for(key));
   }
-  return IoResult{read_cost(out.size()), timer.seconds(), out.size()};
+  double extra_seconds = 0.0;
+  if (faults_) {
+    const auto d = faults_->on_read(fault_index_);
+    if (d.fail) {
+      throw TierIoError("injected read failure on tier '" + spec_.name +
+                        "' for '" + key + "'");
+    }
+    if (d.corrupt && !framed.empty()) {
+      const std::uint64_t bit = d.corrupt_bit % (framed.size() * 8);
+      framed[bit / 8] ^= static_cast<std::byte>(1u << (bit % 8));
+    }
+    extra_seconds = d.extra_seconds;
+  }
+  out = unframe_blob(framed);  // throws IntegrityError on corruption
+  return IoResult{read_cost(out.size()) + extra_seconds, timer.seconds(),
+                  out.size()};
 }
 
 bool StorageTier::contains(const std::string& key) const {
-  return spec_.backend == Backend::kMemory ? memory_.count(key) > 0
-                                           : file_sizes_.count(key) > 0;
+  return payload_sizes_.count(key) > 0;
 }
 
 std::size_t StorageTier::object_size(const std::string& key) const {
-  if (spec_.backend == Backend::kMemory) {
-    auto it = memory_.find(key);
-    CANOPUS_CHECK(it != memory_.end(), "object '" + key + "' not found");
-    return it->second.size();
-  }
-  auto it = file_sizes_.find(key);
-  CANOPUS_CHECK(it != file_sizes_.end(), "object '" + key + "' not found");
+  auto it = payload_sizes_.find(key);
+  CANOPUS_CHECK(it != payload_sizes_.end(), "object '" + key + "' not found");
   return it->second;
 }
 
@@ -90,8 +116,8 @@ void StorageTier::erase(const std::string& key) {
     memory_.erase(key);
   } else {
     fs::remove(path_for(key));
-    file_sizes_.erase(key);
   }
+  payload_sizes_.erase(key);
 }
 
 // Preset envelopes. Bandwidths/latencies are order-of-magnitude figures for

@@ -18,6 +18,8 @@
 
 namespace canopus::storage {
 
+class FaultInjector;
+
 enum class Backend : std::uint8_t {
   kMemory,  // std::map of blobs; cost model only
   kFile,    // one file per object under root_dir; cost model + real I/O
@@ -34,11 +36,16 @@ struct TierSpec {
   std::string root_dir;  // required for kFile
 };
 
-/// Simulated + measured cost of one I/O operation.
+/// Simulated + measured cost of one I/O operation. The robustness fields are
+/// filled by StorageHierarchy's retry/replica machinery; a plain tier-level
+/// operation leaves them at their defaults.
 struct IoResult {
   double sim_seconds = 0.0;   // cost-model time (deterministic)
   double wall_seconds = 0.0;  // actual elapsed time (backend-dependent)
   std::size_t bytes = 0;
+  std::uint32_t retries = 0;      // failed attempts that were retried
+  std::uint32_t corruptions = 0;  // CRC failures among those attempts
+  bool from_replica = false;      // satisfied by a cross-tier replica copy
 };
 
 class StorageTier {
@@ -52,10 +59,20 @@ class StorageTier {
   }
   bool fits(std::size_t nbytes) const { return nbytes <= free_bytes(); }
 
-  /// Stores (or replaces) an object; throws Error when capacity is exceeded.
+  /// Routes this tier's I/O through a fault injector (not owned; must outlive
+  /// the tier). `tier_index` selects which FaultProfile applies. Pass nullptr
+  /// to detach.
+  void set_fault_injector(FaultInjector* injector, std::size_t tier_index);
+
+  /// Stores (or replaces) an object; throws Error when capacity is exceeded
+  /// and TierIoError on an injected write failure. The payload is wrapped in
+  /// an integrity frame (storage/blob_frame.hpp) before it hits the backend;
+  /// capacity, sizes, and the cost model all stay in payload bytes.
   IoResult write(const std::string& key, util::BytesView data);
 
-  /// Loads an object; throws Error when missing.
+  /// Loads an object; throws Error when missing, TierIoError on an injected
+  /// read failure, and IntegrityError when the stored frame fails its CRC
+  /// (injected bit flips or real on-disk corruption).
   IoResult read(const std::string& key, util::Bytes& out) const;
 
   bool contains(const std::string& key) const;
@@ -79,8 +96,10 @@ class StorageTier {
 
   TierSpec spec_;
   std::size_t used_ = 0;
-  std::map<std::string, util::Bytes> memory_;       // kMemory blobs
-  std::map<std::string, std::size_t> file_sizes_;   // kFile object sizes
+  std::map<std::string, util::Bytes> memory_;         // kMemory framed blobs
+  std::map<std::string, std::size_t> payload_sizes_;  // logical object sizes
+  FaultInjector* faults_ = nullptr;                   // not owned; may be null
+  std::size_t fault_index_ = 0;
 };
 
 /// Factory presets modeled on published system characteristics; capacities

@@ -1,0 +1,36 @@
+#pragma once
+// CRC-32 checksum (IEEE 802.3, reflected polynomial 0xEDB88320).
+//
+// Used by the storage layer to frame every stored blob so that corrupt bytes
+// coming back from a failing tier are detected instead of silently decoded.
+// The implementation is the standard byte-at-a-time table walk; incremental
+// update() calls let callers checksum streamed data without concatenation.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/byte_buffer.hpp"
+
+namespace canopus::util {
+
+class Crc32 {
+ public:
+  Crc32& update(const void* data, std::size_t n);
+  Crc32& update(BytesView bytes) { return update(bytes.data(), bytes.size()); }
+
+  /// Finalized checksum of everything fed so far (state is not consumed;
+  /// further update() calls continue the stream).
+  std::uint32_t value() const { return state_ ^ 0xFFFFFFFFu; }
+
+  void reset() { state_ = 0xFFFFFFFFu; }
+
+  /// One-shot convenience.
+  static std::uint32_t compute(BytesView bytes) {
+    return Crc32().update(bytes).value();
+  }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+}  // namespace canopus::util

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cmath>
 #include <filesystem>
+#include <memory>
 
 #include "analytics/blob.hpp"
 #include "analytics/raster.hpp"
@@ -202,6 +203,48 @@ TEST(Integration, ProportionalTierAllocationBypassWorks) {
   cc::ProgressiveReader reader(tiers, "p.bp", ds.variable);
   reader.refine_to(0);
   EXPECT_EQ(reader.values().size(), ds.values.size());
+}
+
+TEST(Integration, DegradedPipelineStillRefinesUnderSlowTierFaults) {
+  // End-to-end robustness: refactor with replicas, then run the progressive
+  // read with 10% injected read faults on the slow tier. The pipeline must
+  // reach at least one level beyond the base without throwing, and the
+  // retry counters must show the fault path actually ran.
+  const auto ds = small_dataset("xgc1");
+  const std::size_t raw = ds.values.size() * sizeof(double);
+  cs::StorageHierarchy tiers({cs::tmpfs_spec(raw), cs::lustre_spec(1 << 30)});
+  cc::RefactorConfig config;
+  config.levels = 4;
+  config.codec = "zfp";
+  config.error_bound = 1e-5;
+  cc::refactor_and_write(tiers, "degraded.bp", ds.variable, ds.mesh,
+                         ds.values, config);
+
+  auto injector = std::make_shared<cs::FaultInjector>(42);
+  cs::FaultProfile profile;
+  profile.read_error = 0.10;
+  injector->set_profile(1, profile);
+  tiers.attach_fault_injector(injector);
+  cs::RetryPolicy retry;
+  retry.max_attempts = 8;
+  tiers.set_retry_policy(retry);
+
+  // No geometry cache: meshes and mappings are fetched from the faulted
+  // tier on the per-step path, exercising retries on every block kind.
+  cc::ProgressiveReader reader(tiers, "degraded.bp", ds.variable);
+  const auto base_level = reader.current_level();
+  while (!reader.at_full_accuracy() &&
+         reader.last_status() != cc::RefineStatus::kDegraded) {
+    reader.refine();  // must never throw, whatever the tier does
+  }
+  EXPECT_LT(reader.current_level(), base_level);  // >= base+1 accuracy
+  EXPECT_GT(reader.cumulative().retries, 0u);     // the faults actually fired
+  EXPECT_EQ(reader.cumulative().retries, injector->counters().read_errors +
+                                             injector->counters().corruptions);
+  if (reader.at_full_accuracy()) {
+    EXPECT_LE(cu::max_abs_error(ds.values, reader.values()),
+              4.0 * config.error_bound);
+  }
 }
 
 TEST(Integration, CampaignPlusGeometryCachePlusAnalysis) {

@@ -170,6 +170,48 @@ TEST(Hierarchy, WriteToExplicitTier) {
   EXPECT_EQ(h.find("pinned"), std::optional<std::size_t>(1));
 }
 
+TEST(Hierarchy, ReadReturnsFullRecordedSize) {
+  // Regression: callers used to trust `out` blindly; the hierarchy now
+  // asserts the bytes returned match the recorded object size, so a partial
+  // read can never silently truncate a variable.
+  cs::StorageHierarchy h({cs::tmpfs_spec(1 << 20), cs::lustre_spec(1 << 30)});
+  for (const std::size_t n : {std::size_t{1}, std::size_t{4096},
+                              std::size_t{100'000}}) {
+    const auto key = "obj" + std::to_string(n);
+    h.place(key, make_blob(n, n));
+    const auto tier = h.find(key);
+    ASSERT_TRUE(tier.has_value());
+    EXPECT_EQ(h.tier(*tier).object_size(key), n);
+    cu::Bytes out;
+    const auto io = h.read(key, out);
+    EXPECT_EQ(out.size(), n);
+    EXPECT_EQ(io.bytes, n);
+    EXPECT_EQ(out, make_blob(n, n));
+  }
+}
+
+TEST(Hierarchy, PlaceWithReplicaKeepsSecondCopyBelow) {
+  cs::StorageHierarchy h({cs::tmpfs_spec(1000), cs::lustre_spec(1000)});
+  const auto blob = make_blob(100, 4);
+  const auto [tier, io] = h.place_with_replica("r", blob);
+  EXPECT_EQ(tier, 0u);
+  EXPECT_EQ(h.replica_tier("r"), std::optional<std::size_t>(1));
+  // The replica costs extra I/O, and lives under its own key on the tier.
+  EXPECT_TRUE(h.tier(1).contains(cs::StorageHierarchy::replica_key("r")));
+  // Erasing the object cleans up the replica too — no capacity leak.
+  h.erase("r");
+  EXPECT_EQ(h.replica_tier("r"), std::nullopt);
+  EXPECT_EQ(h.tier(0).used_bytes(), 0u);
+  EXPECT_EQ(h.tier(1).used_bytes(), 0u);
+}
+
+TEST(Hierarchy, ReplicaOnLastTierHasNowhereToGo) {
+  cs::StorageHierarchy h({cs::tmpfs_spec(50), cs::lustre_spec(1000)});
+  const auto [tier, io] = h.place_with_replica("big", make_blob(500));
+  EXPECT_EQ(tier, 1u);  // bypassed the full fast tier
+  EXPECT_EQ(h.replica_tier("big"), std::nullopt);  // no tier below the last
+}
+
 // ------------------------------------------------------------ aggregation --
 
 #include "storage/aggregation.hpp"
