@@ -98,7 +98,16 @@ struct PipelineOptions {
   // Zero disables injection entirely (byte-identical to the fault-free path).
   double fault_rate = 0.0;
   std::uint64_t fault_seed = 7;
+  // Worker count for the refactor/restore pipelines (--threads): 0 = the
+  // process-global pool sized to hardware concurrency. Results are
+  // bitwise-identical for any value; only wall-clock changes.
+  std::size_t threads = 0;
 };
+
+/// Shared --threads flag (see PipelineOptions::threads).
+inline std::size_t threads_flag(const util::Cli& cli) {
+  return static_cast<std::size_t>(cli.get_int("threads", 0));
+}
 
 /// Wires a seeded FaultInjector into the slow tier of `tiers` per the
 /// options; no-op when fault_rate is zero. `stream` decorrelates the decision
@@ -183,8 +192,14 @@ inline std::vector<PipelineCase> run_pipeline(
     config.levels = n_levels;
     config.codec = opt.codec;
     config.error_bound = opt.error_bound;
+    config.parallel.threads = opt.threads;
     core::refactor_and_write(tiers, "run.bp", ds.variable, ds.mesh, ds.values,
                              config);
+    core::ReaderOptions ropt;
+    ropt.parallel.threads = opt.threads;
+    // Fault-injected cases keep the serial read path: read-ahead would issue
+    // speculative reads and shift the injector's seeded decision stream.
+    ropt.parallel.read_ahead = opt.fault_rate <= 0.0;
     // Meshes are static across a simulation campaign; analytics load the
     // geometry once and reuse it for every timestep, so the per-read cases
     // below exclude that one-time cost — and, like the write, that campaign-
@@ -194,7 +209,8 @@ inline std::vector<PipelineCase> run_pipeline(
 
     // (a) construct the next level of accuracy, then analyze it.
     {
-      core::ProgressiveReader reader(tiers, "run.bp", ds.variable, &geometry);
+      core::ProgressiveReader reader(tiers, "run.bp", ds.variable, &geometry,
+                                     ropt);
       auto t = reader.cumulative();
       if (n_levels >= 2) {
         const auto step = reader.refine();
@@ -216,7 +232,8 @@ inline std::vector<PipelineCase> run_pipeline(
 
     // (b) restore full accuracy from base + all deltas.
     if (full_restoration) {
-      core::ProgressiveReader reader(tiers, "run.bp", ds.variable, &geometry);
+      core::ProgressiveReader reader(tiers, "run.bp", ds.variable, &geometry,
+                                     ropt);
       reader.refine_to(0);
       const auto& t = reader.cumulative();
       PipelineCase c;

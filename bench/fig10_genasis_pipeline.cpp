@@ -12,6 +12,7 @@ int main(int argc, char** argv) {
   bench::PipelineOptions opt;
   opt.detect_blobs = false;
   opt.error_bound = cli.get_double("eb", 1e-4);
+  opt.threads = bench::threads_flag(cli);
 
   sim::GenasisOptions gopt;  // paper-sized: ~130k triangles
   const auto ds = sim::make_genasis_dataset(gopt);

@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   opt.detect_blobs = false;
   opt.ratios = {2, 4, 8};  // the CFD mesh is small; the paper stops at 8x
   opt.error_bound = cli.get_double("eb", 1e-4);
+  opt.threads = bench::threads_flag(cli);
 
   const auto ds = sim::make_cfd_dataset({});
   std::cout << "workload: cfd jet pressure, " << ds.values.size()

@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   // the contended PFS tier; reads retry, fall back to replicas, or degrade.
   opt.fault_rate = cli.get_double("fault-rate", 0.0);
   opt.fault_seed = static_cast<std::uint64_t>(cli.get_int("fault-seed", 7));
+  opt.threads = bench::threads_flag(cli);
 
   const auto ds = sim::make_xgc_dataset({});
   std::cout << "workload: xgc1 dpot plane, " << ds.values.size()

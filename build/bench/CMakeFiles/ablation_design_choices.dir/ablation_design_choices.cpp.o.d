@@ -238,18 +238,35 @@ bench/CMakeFiles/ablation_design_choices.dir/ablation_design_choices.cpp.o: \
  /root/repo/src/util/byte_buffer.hpp /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/util/assert.hpp /root/repo/src/storage/hierarchy.hpp \
- /root/repo/src/storage/fault.hpp /root/repo/src/util/rng.hpp \
- /root/repo/src/storage/tier.hpp /root/repo/src/analytics/blob.hpp \
- /root/repo/src/mesh/geometry.hpp /root/repo/src/analytics/raster.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/storage/fault.hpp \
+ /root/repo/src/util/rng.hpp /root/repo/src/storage/tier.hpp \
+ /root/repo/src/analytics/blob.hpp /root/repo/src/mesh/geometry.hpp \
+ /root/repo/src/analytics/raster.hpp \
  /root/repo/src/mesh/point_locator.hpp /root/repo/src/mesh/tri_mesh.hpp \
  /root/repo/src/core/canopus.hpp /root/repo/src/core/byte_split.hpp \
  /root/repo/src/core/campaign.hpp /root/repo/src/core/refactorer.hpp \
  /root/repo/src/core/types.hpp /root/repo/src/mesh/decimate.hpp \
  /root/repo/src/mesh/cascade.hpp /root/repo/src/util/timer.hpp \
- /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/core/delta.hpp \
+ /root/repo/src/util/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/future \
+ /usr/include/c++/12/bits/atomic_futex.h /usr/include/c++/12/queue \
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/thread \
  /root/repo/src/core/geometry_cache.hpp \
  /root/repo/src/core/progressive_reader.hpp \
  /root/repo/src/core/transport.hpp /root/repo/src/sim/datasets.hpp \

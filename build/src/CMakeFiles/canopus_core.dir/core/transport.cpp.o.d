@@ -210,8 +210,11 @@ src/CMakeFiles/canopus_core.dir/core/transport.cpp.o: \
  /root/repo/src/util/byte_buffer.hpp /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/util/assert.hpp /root/repo/src/storage/hierarchy.hpp \
- /root/repo/src/storage/fault.hpp /root/repo/src/util/rng.hpp \
- /usr/include/c++/12/limits /root/repo/src/storage/tier.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/storage/fault.hpp \
+ /root/repo/src/util/rng.hpp /root/repo/src/storage/tier.hpp \
  /root/repo/src/core/types.hpp /root/repo/src/mesh/decimate.hpp \
  /root/repo/src/mesh/tri_mesh.hpp /root/repo/src/mesh/geometry.hpp \
  /usr/include/c++/12/cmath /usr/include/math.h \
@@ -237,8 +240,6 @@ src/CMakeFiles/canopus_core.dir/core/transport.cpp.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/mesh/cascade.hpp \
  /root/repo/src/util/timer.hpp /usr/include/c++/12/chrono \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc

@@ -318,6 +318,8 @@ tests/CMakeFiles/adios_test.dir/adios_test.cpp.o: \
  /root/repo/src/compress/codec.hpp /usr/include/c++/12/span \
  /root/repo/src/util/byte_buffer.hpp /usr/include/c++/12/cstring \
  /root/repo/src/util/assert.hpp /root/repo/src/storage/hierarchy.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/storage/fault.hpp /root/repo/src/util/rng.hpp \
  /root/repo/src/storage/tier.hpp /root/repo/src/mesh/generators.hpp \
  /root/repo/src/mesh/tri_mesh.hpp /root/repo/src/mesh/geometry.hpp \

@@ -328,5 +328,6 @@ tests/CMakeFiles/config_test.dir/config_test.cpp.o: \
  /root/repo/src/util/byte_buffer.hpp /usr/include/c++/12/cstring \
  /usr/include/c++/12/span /root/repo/src/util/assert.hpp \
  /root/repo/src/storage/fault.hpp /root/repo/src/util/rng.hpp \
- /root/repo/src/storage/hierarchy.hpp /root/repo/src/storage/tier.hpp \
+ /root/repo/src/storage/hierarchy.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/storage/tier.hpp \
  /root/repo/src/util/xml.hpp

@@ -293,8 +293,10 @@ tests/CMakeFiles/core_test.dir/core_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /usr/include/c++/12/cmath /usr/include/math.h \
- /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/cmath \
+ /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -320,14 +322,26 @@ tests/CMakeFiles/core_test.dir/core_test.cpp.o: \
  /root/repo/src/util/assert.hpp /root/repo/src/core/campaign.hpp \
  /root/repo/src/core/refactorer.hpp /root/repo/src/adios/bp.hpp \
  /root/repo/src/compress/codec.hpp /root/repo/src/storage/hierarchy.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/storage/fault.hpp /root/repo/src/util/rng.hpp \
  /root/repo/src/storage/tier.hpp /root/repo/src/core/types.hpp \
  /root/repo/src/mesh/decimate.hpp /root/repo/src/mesh/tri_mesh.hpp \
  /root/repo/src/mesh/geometry.hpp /root/repo/src/mesh/cascade.hpp \
  /root/repo/src/util/timer.hpp /usr/include/c++/12/chrono \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /root/repo/src/core/delta.hpp /root/repo/src/mesh/point_locator.hpp \
- /root/repo/src/core/geometry_cache.hpp \
+ /root/repo/src/util/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/future /usr/include/c++/12/bits/atomic_futex.h \
+ /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/thread /root/repo/src/core/geometry_cache.hpp \
  /root/repo/src/core/progressive_reader.hpp \
  /root/repo/src/core/transport.hpp /root/repo/src/mesh/generators.hpp \
  /root/repo/src/mesh/validate.hpp /root/repo/src/util/stats.hpp

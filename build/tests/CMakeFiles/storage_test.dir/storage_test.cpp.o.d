@@ -297,7 +297,8 @@ tests/CMakeFiles/storage_test.dir/storage_test.cpp.o: \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/bits/fs_path.h /usr/include/c++/12/codecvt \
  /usr/include/c++/12/bits/fs_dir.h /usr/include/c++/12/bits/fs_ops.h \
- /root/repo/src/storage/hierarchy.hpp /root/repo/src/storage/fault.hpp \
+ /root/repo/src/storage/hierarchy.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/storage/fault.hpp \
  /root/repo/src/util/assert.hpp /root/repo/src/util/rng.hpp \
  /root/repo/src/storage/tier.hpp /root/repo/src/util/byte_buffer.hpp \
  /usr/include/c++/12/cstring /usr/include/c++/12/span \

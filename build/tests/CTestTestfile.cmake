@@ -16,6 +16,7 @@ include("/root/repo/build/tests/sim_test[1]_include.cmake")
 include("/root/repo/build/tests/extensions_test[1]_include.cmake")
 include("/root/repo/build/tests/integration_test[1]_include.cmake")
 include("/root/repo/build/tests/config_test[1]_include.cmake")
+include("/root/repo/build/tests/parallel_test[1]_include.cmake")
 include("/root/repo/build/tests/property_test[1]_include.cmake")
 include("/root/repo/build/tests/roi_test[1]_include.cmake")
 include("/root/repo/build/tests/transport_test[1]_include.cmake")

@@ -177,10 +177,22 @@ WriteTiming BpWriter::write_precompressed(const std::string& var, BlockKind kind
                                           double error_bound,
                                           std::uint64_t value_count,
                                           std::optional<std::uint32_t> tier_hint) {
+  return write_precompressed_chunk(var, kind, level, 0, 1, payload, codec_name,
+                                   error_bound, value_count, tier_hint);
+}
+
+WriteTiming BpWriter::write_precompressed_chunk(
+    const std::string& var, BlockKind kind, std::uint32_t level,
+    std::uint32_t chunk, std::uint32_t chunk_count, util::BytesView payload,
+    const std::string& codec_name, double error_bound, std::uint64_t value_count,
+    std::optional<std::uint32_t> tier_hint) {
+  CANOPUS_CHECK(chunk < chunk_count, "chunk index out of range");
   BlockRecord r;
   r.var = var;
   r.kind = kind;
   r.level = level;
+  r.chunk = chunk;
+  r.chunk_count = chunk_count;
   r.codec = codec_name;
   r.error_bound = error_bound;
   r.value_count = value_count;
@@ -281,28 +293,45 @@ std::vector<double> BpReader::read_doubles(const std::string& var, BlockKind kin
   return read_doubles_chunk(var, kind, level, 0, timing);
 }
 
+BpReader::RawChunk BpReader::fetch_chunk(const std::string& var, BlockKind kind,
+                                         std::uint32_t level,
+                                         std::uint32_t chunk) const {
+  const auto& r = find_record(var, kind, level, chunk);
+  CANOPUS_CHECK(r.codec != "none", "block is opaque; use read_opaque");
+  RawChunk raw;
+  raw.record = r;
+  const auto io = hierarchy_.read(r.object_key, raw.payload);
+  raw.io.io_sim_seconds = io.sim_seconds;
+  raw.io.io_wall_seconds = io.wall_seconds;
+  raw.io.bytes_read = io.bytes;
+  raw.io.retries = io.retries;
+  raw.io.corruptions = io.corruptions;
+  raw.io.from_replica = io.from_replica;
+  return raw;
+}
+
+std::vector<double> BpReader::decode_chunk(const BlockRecord& record,
+                                           util::BytesView payload,
+                                           double* decompress_seconds) {
+  util::WallTimer timer;
+  const auto codec = compress::make_codec(record.codec);
+  auto values = codec->decode(payload);
+  CANOPUS_CHECK(values.size() == record.value_count, "bp block corrupt (count)");
+  if (decompress_seconds) *decompress_seconds += timer.seconds();
+  return values;
+}
+
 std::vector<double> BpReader::read_doubles_chunk(const std::string& var,
                                                  BlockKind kind,
                                                  std::uint32_t level,
                                                  std::uint32_t chunk,
                                                  ReadTiming* timing) const {
-  const auto& r = find_record(var, kind, level, chunk);
-  CANOPUS_CHECK(r.codec != "none", "block is opaque; use read_opaque");
-  util::Bytes payload;
-  const auto io = hierarchy_.read(r.object_key, payload);
-
-  util::WallTimer timer;
-  const auto codec = compress::make_codec(r.codec);
-  auto values = codec->decode(payload);
-  CANOPUS_CHECK(values.size() == r.value_count, "bp block corrupt (count)");
+  const auto raw = fetch_chunk(var, kind, level, chunk);
+  double decompress = 0.0;
+  auto values = decode_chunk(raw.record, raw.payload, &decompress);
   if (timing) {
-    timing->io_sim_seconds = io.sim_seconds;
-    timing->io_wall_seconds = io.wall_seconds;
-    timing->decompress_seconds = timer.seconds();
-    timing->bytes_read = io.bytes;
-    timing->retries = io.retries;
-    timing->corruptions = io.corruptions;
-    timing->from_replica = io.from_replica;
+    *timing = raw.io;
+    timing->decompress_seconds = decompress;
   }
   return values;
 }

@@ -134,6 +134,15 @@ class BpWriter {
                                   double error_bound, std::uint64_t value_count,
                                   std::optional<std::uint32_t> tier_hint = {});
 
+  /// Chunked variant of write_precompressed: how the parallel refactorer
+  /// commits delta chunks whose encoding ran on pool workers — the committer
+  /// thread places them in deterministic chunk order.
+  WriteTiming write_precompressed_chunk(
+      const std::string& var, BlockKind kind, std::uint32_t level,
+      std::uint32_t chunk, std::uint32_t chunk_count, util::BytesView payload,
+      const std::string& codec_name, double error_bound,
+      std::uint64_t value_count, std::optional<std::uint32_t> tier_hint = {});
+
   void set_attribute(const std::string& name, const std::string& value);
 
   /// Publishes metadata; further writes are rejected.
@@ -171,6 +180,25 @@ class BpReader {
   std::vector<double> read_doubles_chunk(const std::string& var, BlockKind kind,
                                          std::uint32_t level, std::uint32_t chunk,
                                          ReadTiming* timing = nullptr) const;
+
+  /// One chunk's stored payload plus its index record and I/O timing, fetched
+  /// without decoding. Decoding can then run on any thread via decode_chunk —
+  /// this is the split the progressive reader uses to decompress fetched
+  /// chunks in parallel and to read ahead from slow tiers while restoring.
+  struct RawChunk {
+    BlockRecord record;
+    util::Bytes payload;
+    ReadTiming io;
+  };
+  RawChunk fetch_chunk(const std::string& var, BlockKind kind,
+                       std::uint32_t level, std::uint32_t chunk) const;
+
+  /// Decodes a fetched payload with the record's codec; adds the decode wall
+  /// time to *decompress_seconds when given. Pure function of its arguments,
+  /// safe to call concurrently from pool workers.
+  static std::vector<double> decode_chunk(const BlockRecord& record,
+                                          util::BytesView payload,
+                                          double* decompress_seconds = nullptr);
 
   /// Retrieve one opaque block.
   util::Bytes read_opaque(const std::string& var, BlockKind kind,

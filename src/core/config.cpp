@@ -180,6 +180,27 @@ RuntimeConfig load_config(const std::string& xml_text) {
     }
   }
 
+  if (const auto* threads = root->child("threads")) {
+    // Worker count as text content: <threads>4</threads> (0 = hardware).
+    std::string text = threads->text;
+    text.erase(std::remove_if(text.begin(), text.end(),
+                              [](unsigned char c) { return std::isspace(c); }),
+               text.end());
+    CANOPUS_CHECK(!text.empty(), "<threads> needs a worker count");
+    config.refactor.parallel.threads =
+        static_cast<std::size_t>(std::stoul(text));
+  }
+
+  if (const auto* pipeline = root->child("pipeline")) {
+    auto& pc = config.refactor.parallel;
+    if (pipeline->has_attr("overlap")) {
+      pc.pipeline = parse_bool(pipeline->attr("overlap"));
+    }
+    if (pipeline->has_attr("read-ahead")) {
+      pc.read_ahead = parse_bool(pipeline->attr("read-ahead"));
+    }
+  }
+
   if (const auto* faults = root->child("faults")) {
     if (faults->has_attr("seed")) {
       config.fault_seed = std::stoull(faults->attr("seed"));

@@ -17,6 +17,8 @@
 //     <refactor levels="3" step="2" codec="zfp" error-bound="1e-6"
 //               estimate="uniform" priority="shortest"
 //               tiered-placement="true"/>
+//     <threads>4</threads>
+//     <pipeline overlap="true" read-ahead="true"/>
 //     <faults seed="42">
 //       <tier name="lustre" read-error="0.1" corrupt="0.01"
 //             latency-spike="0.05" spike-duration="20ms"/>
@@ -34,6 +36,10 @@
 // sets its failure probabilities (read-error, write-error, corrupt,
 // latency-spike in [0,1]; spike-duration as a duration). <retry> tunes the
 // hierarchy's read retry-with-backoff policy.
+//
+// <threads> pins the task engine's worker count (0 = hardware concurrency)
+// and <pipeline> toggles the writer's compute/commit overlap and the
+// reader's delta read-ahead; both land in RefactorConfig::parallel.
 
 #include <optional>
 #include <string>

@@ -7,21 +7,34 @@
 
 namespace canopus::core {
 
-VertexMapping build_mapping(const mesh::TriMesh& fine, const mesh::TriMesh& coarse) {
+namespace {
+/// Minimum per-task iteration count for the per-vertex loops below: tasks
+/// cheaper than this cost more to enqueue than to run.
+constexpr std::size_t kVertexGrain = 2048;
+
+util::ThreadPool& pool_or_global(util::ThreadPool* pool) {
+  return pool ? *pool : util::ThreadPool::global();
+}
+}  // namespace
+
+VertexMapping build_mapping(const mesh::TriMesh& fine, const mesh::TriMesh& coarse,
+                            util::ThreadPool* pool) {
   const mesh::PointLocator locator(coarse);
   VertexMapping m;
   m.triangle.resize(fine.vertex_count());
   m.weights.resize(fine.vertex_count());
-  // Point location per vertex is independent; fan out on the global pool
-  // (this is the dominant cost of the refactoring write path).
-  util::ThreadPool::global().parallel_for(
-      0, fine.vertex_count(), [&](std::size_t lo, std::size_t hi) {
+  // Point location per vertex is independent; fan out on the pool (this is
+  // the dominant cost of the refactoring write path).
+  pool_or_global(pool).parallel_for(
+      0, fine.vertex_count(),
+      [&](std::size_t lo, std::size_t hi) {
         for (std::size_t v = lo; v < hi; ++v) {
           const auto loc = locator.locate(fine.vertex(v));
           m.triangle[v] = loc.triangle;
           m.weights[v] = loc.weights;
         }
-      });
+      },
+      /*grain=*/512);
   // Quantize before anyone computes deltas against these weights, so the
   // persisted mapping reproduces the in-memory one exactly.
   m.quantize_weights();
@@ -52,29 +65,42 @@ double estimate_value(const mesh::TriMesh& coarse, const mesh::Field& coarse_val
 
 mesh::Field compute_delta(const mesh::TriMesh& coarse, const mesh::Field& coarse_values,
                           const mesh::Field& fine_values, const VertexMapping& mapping,
-                          EstimateMode mode) {
+                          EstimateMode mode, util::ThreadPool* pool) {
   CANOPUS_CHECK(fine_values.size() == mapping.size(),
                 "delta: fine field / mapping size mismatch");
   CANOPUS_CHECK(coarse_values.size() == coarse.vertex_count(),
                 "delta: coarse field size mismatch");
   mesh::Field delta(fine_values.size());
-  for (std::size_t x = 0; x < fine_values.size(); ++x) {
-    delta[x] = fine_values[x] - estimate_value(coarse, coarse_values, mapping, x, mode);
-  }
+  // Each entry is an independent pure function of its inputs, so splitting
+  // the range cannot change a single bit of the output.
+  pool_or_global(pool).parallel_for(
+      0, fine_values.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t x = lo; x < hi; ++x) {
+          delta[x] =
+              fine_values[x] - estimate_value(coarse, coarse_values, mapping, x, mode);
+        }
+      },
+      kVertexGrain);
   return delta;
 }
 
 mesh::Field restore_level(const mesh::TriMesh& coarse, const mesh::Field& coarse_values,
                           const mesh::Field& delta, const VertexMapping& mapping,
-                          EstimateMode mode) {
+                          EstimateMode mode, util::ThreadPool* pool) {
   CANOPUS_CHECK(delta.size() == mapping.size(),
                 "restore: delta / mapping size mismatch");
   CANOPUS_CHECK(coarse_values.size() == coarse.vertex_count(),
                 "restore: coarse field size mismatch");
   mesh::Field fine(delta.size());
-  for (std::size_t x = 0; x < delta.size(); ++x) {
-    fine[x] = delta[x] + estimate_value(coarse, coarse_values, mapping, x, mode);
-  }
+  pool_or_global(pool).parallel_for(
+      0, delta.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t x = lo; x < hi; ++x) {
+          fine[x] = delta[x] + estimate_value(coarse, coarse_values, mapping, x, mode);
+        }
+      },
+      kVertexGrain);
   return fine;
 }
 

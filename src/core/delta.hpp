@@ -10,12 +10,16 @@
 #include "core/types.hpp"
 #include "mesh/point_locator.hpp"
 #include "mesh/tri_mesh.hpp"
+#include "util/thread_pool.hpp"
 
 namespace canopus::core {
 
 /// Builds the fine-vertex -> coarse-triangle mapping by point location in the
 /// coarse mesh (the index Canopus persists to avoid the O(n^2) brute force).
-VertexMapping build_mapping(const mesh::TriMesh& fine, const mesh::TriMesh& coarse);
+/// `pool` selects the worker pool for the per-vertex fan-out (nullptr = the
+/// process-global pool); results are identical for any pool.
+VertexMapping build_mapping(const mesh::TriMesh& fine, const mesh::TriMesh& coarse,
+                            util::ThreadPool* pool = nullptr);
 
 /// Estimate(.) for one fine vertex under the given mode.
 double estimate_value(const mesh::TriMesh& coarse, const mesh::Field& coarse_values,
@@ -23,14 +27,17 @@ double estimate_value(const mesh::TriMesh& coarse, const mesh::Field& coarse_val
                       EstimateMode mode);
 
 /// Algorithm 2: delta between a fine level and its estimate from the coarse
-/// level. `fine_values` has one entry per mapping entry.
+/// level. `fine_values` has one entry per mapping entry. Per-vertex work fans
+/// out on `pool` (nullptr = global); the output is bitwise-identical to the
+/// serial loop for any worker count.
 mesh::Field compute_delta(const mesh::TriMesh& coarse, const mesh::Field& coarse_values,
                           const mesh::Field& fine_values, const VertexMapping& mapping,
-                          EstimateMode mode);
+                          EstimateMode mode, util::ThreadPool* pool = nullptr);
 
 /// Algorithm 3: restore the fine level from the coarse level plus a delta.
+/// Parallel like compute_delta, with the same determinism guarantee.
 mesh::Field restore_level(const mesh::TriMesh& coarse, const mesh::Field& coarse_values,
                           const mesh::Field& delta, const VertexMapping& mapping,
-                          EstimateMode mode);
+                          EstimateMode mode, util::ThreadPool* pool = nullptr);
 
 }  // namespace canopus::core

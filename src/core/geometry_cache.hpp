@@ -8,6 +8,7 @@
 // Passing a GeometryCache to ProgressiveReader removes geometry I/O from the
 // per-read critical path, which is the regime the paper's Figs. 9-11 measure.
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -17,13 +18,31 @@
 
 namespace canopus::core {
 
+/// Process-wide memoized mesh::spatial_order, keyed by a geometry
+/// fingerprint (vertex count, bounds, CRC-32 of the coordinate bytes).
+/// Campaign meshes are static across thousands of timesteps, and writer and
+/// reader both need the same Morton ordering for every chunked delta level —
+/// memoizing here means the O(n log n) sort runs once per distinct mesh per
+/// process instead of once per refactor/refine call. Thread-safe; the
+/// returned vector is immutable and shared.
+std::shared_ptr<const std::vector<mesh::VertexId>> cached_spatial_order(
+    const mesh::TriMesh& mesh);
+
 struct GeometryCache {
   /// meshes[l] is G^l; size = level count.
   std::vector<mesh::TriMesh> meshes;
   /// mappings[l] restores level l from level l+1; size = level count - 1.
   std::vector<VertexMapping> mappings;
+  /// orders[l] is the Morton ordering of meshes[l], prewarmed by load() via
+  /// cached_spatial_order so per-timestep refines never recompute it.
+  std::vector<std::shared_ptr<const std::vector<mesh::VertexId>>> orders;
 
   std::size_t level_count() const { return meshes.size(); }
+
+  /// Morton ordering of level l (from the prewarmed cache).
+  const std::vector<mesh::VertexId>& order(std::size_t level) const {
+    return *orders[level];
+  }
 
   /// Reads every mesh and mapping block of `var` from the container.
   /// `io_seconds`, when given, receives the simulated one-time read cost.

@@ -1,6 +1,7 @@
 #include "core/progressive_reader.hpp"
 
 #include <cmath>
+#include <utility>
 
 #include "core/delta.hpp"
 #include "storage/blob_frame.hpp"
@@ -41,15 +42,43 @@ void fold(const adios::ReadTiming& t, RetrievalTimings& step) {
   step.corruptions_detected += t.corruptions;
   if (t.from_replica) ++step.replica_reads;
 }
+
+/// Spatially permuted (chunked) deltas are stored in Morton order; scatter
+/// them back to vertex order. The scatter targets are a permutation, so the
+/// pool fan-out writes disjoint entries and the result is order-independent.
+mesh::Field unpermute_delta(const mesh::Field& stored,
+                            const std::vector<mesh::VertexId>& order,
+                            util::ThreadPool& pool) {
+  CANOPUS_CHECK(stored.size() == order.size(),
+                "chunked delta size inconsistent with its mesh");
+  mesh::Field delta(stored.size());
+  pool.parallel_for(
+      0, order.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t pos = lo; pos < hi; ++pos) {
+          delta[order[pos]] = stored[pos];
+        }
+      },
+      /*grain=*/4096);
+  return delta;
+}
 }  // namespace
 
 ProgressiveReader::ProgressiveReader(storage::StorageHierarchy& hierarchy,
                                      const std::string& path, std::string var,
-                                     const GeometryCache* geometry)
+                                     const GeometryCache* geometry,
+                                     ReaderOptions options)
     : hierarchy_(hierarchy),
       reader_(hierarchy, path),
       var_(std::move(var)),
       geometry_(geometry) {
+  if (options.parallel.threads > 0) {
+    local_pool_.emplace(options.parallel.threads);
+  }
+  // Read-ahead needs at least one worker besides the applying thread; with a
+  // single pinned worker the reader stays fully serial, by design.
+  read_ahead_ = options.parallel.read_ahead && pool().size() > 1;
+
   const auto levels_attr = reader_.attribute("levels");
   CANOPUS_CHECK(levels_attr.has_value(), "container missing 'levels' attribute");
   levels_ = static_cast<std::size_t>(std::stoul(*levels_attr));
@@ -81,6 +110,14 @@ ProgressiveReader::ProgressiveReader(storage::StorageHierarchy& hierarchy,
                 "base level inconsistent with its mesh");
 }
 
+ProgressiveReader::~ProgressiveReader() {
+  if (prefetch_.valid()) prefetch_.wait();
+}
+
+util::ThreadPool& ProgressiveReader::pool() const {
+  return local_pool_ ? *local_pool_ : util::ThreadPool::global();
+}
+
 double ProgressiveReader::decimation_ratio() const {
   if (!full_vertex_count_) {
     // Vertex count of L^0 = size of the finest delta (one delta entry per
@@ -99,40 +136,74 @@ double ProgressiveReader::decimation_ratio() const {
          static_cast<double>(values_.size());
 }
 
-namespace {
-/// Reads every chunk of a (possibly chunked) delta, concatenated in storage
-/// order; sets `chunked` when the group was spatially permuted.
-mesh::Field read_all_delta_chunks(const adios::BpReader& reader,
-                                  const std::string& var, std::uint32_t level,
-                                  RetrievalTimings& step, bool& chunked) {
-  const auto info = reader.inq_var(var);
-  const auto* first = info.block(adios::BlockKind::kDelta, level);
-  CANOPUS_CHECK(first != nullptr, "delta block missing");
-  chunked = first->chunk_count > 1;
-  mesh::Field delta;
-  for (std::uint32_t c = 0; c < first->chunk_count; ++c) {
-    adios::ReadTiming t;
-    const auto part =
-        reader.read_doubles_chunk(var, adios::BlockKind::kDelta, level, c, &t);
-    fold(t, step);
-    delta.insert(delta.end(), part.begin(), part.end());
+ProgressiveReader::PrefetchedLevel ProgressiveReader::fetch_level(
+    std::uint32_t level) const {
+  // Chunks are fetched one after the other (only the decode fans out): the
+  // hierarchy then sees the same read sequence as the serial reader, which
+  // keeps tier access accounting — and the fault injector's seeded decision
+  // stream — reproducible.
+  PrefetchedLevel out;
+  out.level = level;
+  try {
+    const auto info = reader_.inq_var(var_);
+    const auto* first = info.block(adios::BlockKind::kDelta, level);
+    CANOPUS_CHECK(first != nullptr, "delta block missing");
+    out.chunked = first->chunk_count > 1;
+    out.chunks.reserve(first->chunk_count);
+    for (std::uint32_t c = 0; c < first->chunk_count; ++c) {
+      out.chunks.push_back(
+          reader_.fetch_chunk(var_, adios::BlockKind::kDelta, level, c));
+    }
+  } catch (...) {
+    out.error = std::current_exception();
   }
-  return delta;
+  return out;
 }
 
-/// Spatially permuted (chunked) deltas are stored in Morton order; scatter
-/// them back to vertex order using the ordering recomputed from geometry.
-mesh::Field unpermute_delta(const mesh::Field& stored, const mesh::TriMesh& fine) {
-  const auto order = mesh::spatial_order(fine);
-  CANOPUS_CHECK(stored.size() == order.size(),
-                "chunked delta size inconsistent with its mesh");
-  mesh::Field delta(stored.size());
-  for (std::size_t pos = 0; pos < order.size(); ++pos) {
-    delta[order[pos]] = stored[pos];
+ProgressiveReader::PrefetchedLevel ProgressiveReader::take_prefetch(
+    std::uint32_t level) {
+  if (prefetch_.valid()) {
+    PrefetchedLevel p = prefetch_.get();
+    if (p.level == level) return p;
+    // Stale read-ahead (a refine_region() or degraded step changed course):
+    // drop it. Speculative reads never enter the retrieval clock.
   }
+  return fetch_level(level);
+}
+
+void ProgressiveReader::start_prefetch(std::uint32_t level) {
+  if (!read_ahead_ || prefetch_.valid()) return;
+  prefetch_ = pool().submit([this, level] { return fetch_level(level); });
+}
+
+mesh::Field ProgressiveReader::decode_level(PrefetchedLevel fetched,
+                                            RetrievalTimings& step,
+                                            bool& chunked) {
+  // Fold the successfully fetched chunks first (prefetched I/O is charged to
+  // the step that consumes it), then surface a fetch failure exactly as the
+  // synchronous path would: partial timings kept, exception propagated.
+  for (const auto& rc : fetched.chunks) fold(rc.io, step);
+  if (fetched.error) std::rethrow_exception(fetched.error);
+  chunked = fetched.chunked;
+
+  std::vector<std::vector<double>> parts(fetched.chunks.size());
+  std::vector<double> decode_seconds(fetched.chunks.size(), 0.0);
+  pool().parallel_for(0, fetched.chunks.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t c = lo; c < hi; ++c) {
+      parts[c] = adios::BpReader::decode_chunk(fetched.chunks[c].record,
+                                               fetched.chunks[c].payload,
+                                               &decode_seconds[c]);
+    }
+  });
+  for (const double s : decode_seconds) step.decompress_seconds += s;
+
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  mesh::Field delta;
+  delta.reserve(total);
+  for (const auto& p : parts) delta.insert(delta.end(), p.begin(), p.end());
   return delta;
 }
-}  // namespace
 
 RetrievalTimings ProgressiveReader::degrade(RetrievalTimings step) {
   // The fetch failed after retries and replica fallback: keep the last good
@@ -152,16 +223,21 @@ RetrievalTimings ProgressiveReader::refine() {
   RetrievalTimings step;
   try {
     bool chunked = false;
-    mesh::Field delta = read_all_delta_chunks(reader_, var_, next, step, chunked);
+    mesh::Field delta = decode_level(take_prefetch(next), step, chunked);
     // Note: partially_refined_ stays sticky — once a coarser level skipped
     // chunks, values outside that region remain approximate no matter how many
     // full deltas are applied on top.
 
     if (geometry_) {
+      // Every read of this step is done: overlap the (pure compute) unpermute
+      // and restore below with the read-ahead of the following delta. Issuing
+      // it here keeps the hierarchy's global read order identical to the
+      // serial reader's.
+      if (next > 0) start_prefetch(next - 1);
       util::WallTimer t;
-      if (chunked) delta = unpermute_delta(delta, geometry_->meshes[next]);
+      if (chunked) delta = unpermute_delta(delta, geometry_->order(next), pool());
       values_ = restore_level(geometry_->meshes[current_level_], values_, delta,
-                              geometry_->mappings[next], estimate_);
+                              geometry_->mappings[next], estimate_, &pool());
       step.restore_seconds = t.seconds();
     } else {
       adios::ReadTiming map_t, mesh_t;
@@ -171,14 +247,17 @@ RetrievalTimings ProgressiveReader::refine() {
           reader_.read_opaque(var_, adios::BlockKind::kMesh, next, &mesh_t);
       fold(map_t, step);
       fold(mesh_t, step);
+      if (next > 0) start_prefetch(next - 1);
 
       util::WallTimer t;
       util::ByteReader mesh_reader(mesh_raw);
       const auto fine_mesh = mesh::TriMesh::deserialize(mesh_reader);
-      if (chunked) delta = unpermute_delta(delta, fine_mesh);
+      if (chunked) {
+        delta = unpermute_delta(delta, *cached_spatial_order(fine_mesh), pool());
+      }
       util::ByteReader map_reader(map_raw);
       const auto mapping = VertexMapping::deserialize(map_reader);
-      values_ = restore_level(mesh_, values_, delta, mapping, estimate_);
+      values_ = restore_level(mesh_, values_, delta, mapping, estimate_, &pool());
       mesh_ = fine_mesh;
       step.restore_seconds = t.seconds();
     }
@@ -200,6 +279,9 @@ RetrievalTimings ProgressiveReader::refine() {
 RetrievalTimings ProgressiveReader::refine_region(const mesh::Aabb& roi) {
   CANOPUS_CHECK(current_level_ > 0, "already at full accuracy");
   const std::uint32_t next = current_level_ - 1;
+  // A pending read-ahead holds every chunk of the level; a regional step
+  // wants only a subset with different accounting, so retire it first.
+  if (prefetch_.valid()) prefetch_.wait();
 
   // Without a chunk index the delta is monolithic: fall back to full refine.
   // A faulted index read, by contrast, degrades like any other failed fetch.
@@ -240,9 +322,9 @@ RetrievalTimings ProgressiveReader::refine_region(const mesh::Aabb& roi) {
 
     if (geometry_) {
       util::WallTimer t;
-      const auto delta = unpermute_delta(stored, geometry_->meshes[next]);
+      const auto delta = unpermute_delta(stored, geometry_->order(next), pool());
       values_ = restore_level(geometry_->meshes[current_level_], values_, delta,
-                              geometry_->mappings[next], estimate_);
+                              geometry_->mappings[next], estimate_, &pool());
       step.restore_seconds = t.seconds();
     } else {
       adios::ReadTiming map_t, mesh_t;
@@ -255,10 +337,11 @@ RetrievalTimings ProgressiveReader::refine_region(const mesh::Aabb& roi) {
       util::WallTimer t;
       util::ByteReader mesh_reader(mesh_raw);
       const auto fine_mesh = mesh::TriMesh::deserialize(mesh_reader);
-      const auto delta = unpermute_delta(stored, fine_mesh);
+      const auto delta =
+          unpermute_delta(stored, *cached_spatial_order(fine_mesh), pool());
       util::ByteReader map_reader(map_raw);
       const auto mapping = VertexMapping::deserialize(map_reader);
-      values_ = restore_level(mesh_, values_, delta, mapping, estimate_);
+      values_ = restore_level(mesh_, values_, delta, mapping, estimate_, &pool());
       mesh_ = fine_mesh;
       step.restore_seconds = t.seconds();
     }

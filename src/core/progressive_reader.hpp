@@ -7,6 +7,7 @@
 // for speed on the fly (Fig. 1, right side). Every step reports the paper's
 // phase breakdown (I/O, decompression, restoration).
 
+#include <future>
 #include <optional>
 #include <string>
 
@@ -15,6 +16,7 @@
 #include "core/types.hpp"
 #include "mesh/tri_mesh.hpp"
 #include "storage/hierarchy.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace canopus::core {
@@ -45,18 +47,39 @@ enum class RefineStatus : std::uint8_t {
 
 std::string to_string(RefineStatus status);
 
+/// Concurrency knobs of a ProgressiveReader (see ParallelConfig): worker
+/// count for chunk decoding / restoration fan-out and whether refine() may
+/// read the following delta level ahead of time.
+struct ReaderOptions {
+  ParallelConfig parallel;
+};
+
 class ProgressiveReader {
  public:
   /// Opens the container and retrieves the base dataset L^{N-1}.
   ///
-  /// `geometry`, when given, supplies the per-level meshes and restoration
-  /// mappings from a campaign-lifetime GeometryCache so that no geometry is
-  /// read or deserialized on the per-timestep path (meshes are static across
-  /// a simulation run). Without it, geometry blocks are fetched on demand and
-  /// their cost is charged to the step timings. The cache must outlive the
-  /// reader.
+  /// `geometry`, when given, supplies the per-level meshes, restoration
+  /// mappings, and spatial orders from a campaign-lifetime GeometryCache so
+  /// that no geometry is read or deserialized on the per-timestep path
+  /// (meshes are static across a simulation run). Without it, geometry blocks
+  /// are fetched on demand and their cost is charged to the step timings. The
+  /// cache must outlive the reader.
+  ///
+  /// Restoration is concurrent per `options.parallel`: fetched delta chunks
+  /// decompress in parallel and, with read-ahead on, refine() starts pulling
+  /// the following delta off the (slow) tiers while the current one is
+  /// applied. Restored fields are bitwise-identical for any worker count, and
+  /// every simulated I/O second of a prefetched block is charged to the step
+  /// that consumes it, so RetrievalTimings still matches the simulated clock.
   ProgressiveReader(storage::StorageHierarchy& hierarchy, const std::string& path,
-                    std::string var, const GeometryCache* geometry = nullptr);
+                    std::string var, const GeometryCache* geometry = nullptr,
+                    ReaderOptions options = {});
+
+  /// Joins any in-flight read-ahead before tearing down.
+  ~ProgressiveReader();
+
+  ProgressiveReader(const ProgressiveReader&) = delete;
+  ProgressiveReader& operator=(const ProgressiveReader&) = delete;
 
   std::size_t level_count() const { return levels_; }
   /// Current accuracy level (N-1 = base ... 0 = full accuracy).
@@ -112,8 +135,36 @@ class ProgressiveReader {
   const RetrievalTimings& cumulative() const { return cumulative_; }
 
  private:
+  /// Raw (still compressed) blocks of one delta level, pulled off the tiers
+  /// either synchronously or by the read-ahead task. On a failed fetch,
+  /// `chunks` holds the successfully read prefix and `error` the failure, so
+  /// the consumer can fold the partial timings and then degrade exactly like
+  /// the synchronous path.
+  struct PrefetchedLevel {
+    std::uint32_t level = 0;
+    bool chunked = false;
+    std::vector<adios::BpReader::RawChunk> chunks;
+    std::exception_ptr error;
+  };
+
   /// Records a failed step: counts it, sets kDegraded, keeps reader state.
   RetrievalTimings degrade(RetrievalTimings step);
+
+  util::ThreadPool& pool() const;
+  /// Serially fetches every delta chunk of `level`; never throws (failures
+  /// are captured in the result). Safe to run off-thread: it only performs
+  /// reads through the (thread-safe) hierarchy.
+  PrefetchedLevel fetch_level(std::uint32_t level) const;
+  /// Consumes a matching in-flight read-ahead, or fetches synchronously. A
+  /// stale prefetch (different level) is discarded; its speculative reads
+  /// never enter the retrieval clock.
+  PrefetchedLevel take_prefetch(std::uint32_t level);
+  /// Kicks off the read-ahead for `level` (no-op when disabled).
+  void start_prefetch(std::uint32_t level);
+  /// Folds fetch timings into `step`, rethrows a captured fetch failure, and
+  /// decodes all chunks in parallel, concatenated in chunk order.
+  mesh::Field decode_level(PrefetchedLevel fetched, RetrievalTimings& step,
+                           bool& chunked);
 
   storage::StorageHierarchy& hierarchy_;
   adios::BpReader reader_;
@@ -130,6 +181,12 @@ class ProgressiveReader {
   // Lazily resolved in decimation_ratio() const from container metadata.
   mutable std::optional<std::size_t> full_vertex_count_;
   RetrievalTimings cumulative_;
+
+  // Worker pool: a dedicated one when options pin a thread count, the
+  // process-global pool otherwise.
+  mutable std::optional<util::ThreadPool> local_pool_;
+  bool read_ahead_ = false;
+  std::future<PrefetchedLevel> prefetch_;
 };
 
 }  // namespace canopus::core

@@ -24,7 +24,13 @@ struct ProductSize {
   std::uint32_t level = 0;
   std::size_t raw_bytes = 0;
   std::size_t stored_bytes = 0;
+  /// Slowest (highest-index) tier holding any chunk of the product — the one
+  /// that bounds a retrieval of the whole product.
   std::uint32_t tier = 0;
+  /// Tier of every stored chunk, in chunk order (single-chunk products carry
+  /// one entry). Hint fallback and striping policies can scatter a chunked
+  /// delta across tiers, so one scalar cannot describe the placement.
+  std::vector<std::uint32_t> chunk_tiers;
 };
 
 struct RefactorReport {
@@ -41,10 +47,28 @@ struct RefactorReport {
 /// Refactors (mesh, values) into `config.levels` accuracy levels and writes
 /// them as variable `var` into the container at `path`. The input (level 0)
 /// itself is not stored — only the base and the deltas, per Section III-C2.
+///
+/// The pipeline is concurrent per config.parallel: delta chunks encode in
+/// parallel, the Morton permutation and per-chunk bounding boxes fan out on
+/// the pool, and level l's mapping+delta computation overlaps level l+1's
+/// compression commit. A single committer serializes every write into the
+/// container in the same order as the serial pipeline, so placement, the
+/// Fig. 6b phase accounting, and all stored bytes are bitwise-identical for
+/// any thread count.
 RefactorReport refactor_and_write(storage::StorageHierarchy& hierarchy,
                                   const std::string& path, const std::string& var,
                                   const mesh::TriMesh& mesh,
                                   const mesh::Field& values,
+                                  const RefactorConfig& config);
+
+/// Variant taking a prebuilt level hierarchy. Decimation is a mesh-lifetime
+/// cost in a campaign (thousands of timesteps share one cascade); this entry
+/// point lets callers amortize it and charge only the per-variable
+/// delta+compress+place pipeline. `cascade` must have been built with the
+/// same levels/step the config describes. No "decimation" phase is recorded.
+RefactorReport refactor_and_write(storage::StorageHierarchy& hierarchy,
+                                  const std::string& path, const std::string& var,
+                                  const mesh::Cascade& cascade,
                                   const RefactorConfig& config);
 
 /// Baseline for Fig. 5: compress every level directly (no deltas) and report

@@ -25,6 +25,25 @@ enum class EstimateMode : std::uint8_t {
 std::string to_string(EstimateMode mode);
 EstimateMode estimate_mode_from_string(const std::string& s);
 
+/// Knobs for the task-based refactor/restore engine, shared by the writer
+/// (refactor_and_write) and the reader (ProgressiveReader) and configurable
+/// from XML (<threads>N</threads>, <pipeline overlap=".." read-ahead=".."/>).
+/// Worker count only changes wall-clock: products and restored fields are
+/// bitwise-identical for any `threads` value (commits and reductions are
+/// ordered deterministically).
+struct ParallelConfig {
+  /// Worker threads for parallel sections; 0 = the process-global pool
+  /// (hardware concurrency), 1 = a dedicated single worker.
+  std::size_t threads = 0;
+  /// Writer: overlap level l's mapping+delta computation with level l+1's
+  /// compression commit (a single committer serializes placement, so
+  /// placement order and phase accounting stay deterministic).
+  bool pipeline = true;
+  /// Reader: prefetch the next delta level from its (slow) tier while the
+  /// current level is being decompressed and applied.
+  bool read_ahead = true;
+};
+
 /// Everything that controls one refactoring run.
 struct RefactorConfig {
   /// Total number of accuracy levels N (>= 1); L^{N-1} is the base.
@@ -45,7 +64,10 @@ struct RefactorConfig {
   /// Split every delta into this many independently decodable chunks with
   /// per-chunk bounding boxes, enabling focused region-of-interest retrieval
   /// ("reading smaller subsets of high accuracy data", Section III-E).
+  /// Chunks are also the unit of parallel encoding/decoding.
   std::uint32_t delta_chunks = 1;
+  /// Task-engine knobs for the write pipeline.
+  ParallelConfig parallel;
 
   /// Convenience: sets error_bound so that the *accumulated* restoration
   /// error at full accuracy stays within `total` (codec bounds add once per

@@ -19,6 +19,7 @@ StorageHierarchy::StorageHierarchy(std::vector<TierSpec> specs,
 }
 
 std::optional<std::size_t> StorageHierarchy::choose_tier(std::size_t nbytes) const {
+  std::scoped_lock lock(mu_);
   switch (policy_) {
     case PlacementPolicy::kFastestFit:
       for (std::size_t i = 0; i < tiers_.size(); ++i) {
@@ -45,6 +46,7 @@ std::optional<std::size_t> StorageHierarchy::choose_tier(std::size_t nbytes) con
 
 std::pair<std::size_t, IoResult> StorageHierarchy::place(const std::string& key,
                                                          util::BytesView data) {
+  std::scoped_lock lock(mu_);
   erase(key);  // replacing an object must not leak capacity on another tier
   const auto choice = choose_tier(data.size());
   CANOPUS_CHECK(choice.has_value(),
@@ -56,6 +58,7 @@ std::pair<std::size_t, IoResult> StorageHierarchy::place(const std::string& key,
 
 IoResult StorageHierarchy::write_to(std::size_t tier_index, const std::string& key,
                                     util::BytesView data) {
+  std::scoped_lock lock(mu_);
   CANOPUS_ASSERT(tier_index < tiers_.size());
   erase(key);
   touch(key);
@@ -64,6 +67,7 @@ IoResult StorageHierarchy::write_to(std::size_t tier_index, const std::string& k
 
 std::pair<std::size_t, IoResult> StorageHierarchy::place_with_replica(
     const std::string& key, util::BytesView data) {
+  std::scoped_lock lock(mu_);
   auto [primary, io] = place(key, data);
   replicate_below(primary, key, data, &io);
   return {primary, io};
@@ -72,6 +76,7 @@ std::pair<std::size_t, IoResult> StorageHierarchy::place_with_replica(
 std::optional<std::size_t> StorageHierarchy::replicate_below(
     std::size_t primary, const std::string& key, util::BytesView data,
     IoResult* io) {
+  std::scoped_lock lock(mu_);
   CANOPUS_ASSERT(primary < tiers_.size());
   const auto rkey = replica_key(key);
   for (std::size_t t = primary + 1; t < tiers_.size(); ++t) {
@@ -130,6 +135,7 @@ bool StorageHierarchy::read_attempts(std::size_t tier, const std::string& key,
 }
 
 IoResult StorageHierarchy::read(const std::string& key, util::Bytes& out) const {
+  std::scoped_lock lock(mu_);
   const auto where = find(key);
   CANOPUS_CHECK(where.has_value(), "object '" + key + "' not in hierarchy");
   touch(key);
@@ -157,6 +163,7 @@ IoResult StorageHierarchy::read(const std::string& key, util::Bytes& out) const 
 }
 
 std::optional<std::size_t> StorageHierarchy::find(const std::string& key) const {
+  std::scoped_lock lock(mu_);
   for (std::size_t i = 0; i < tiers_.size(); ++i) {
     if (tiers_[i]->contains(key)) return i;
   }
@@ -164,6 +171,7 @@ std::optional<std::size_t> StorageHierarchy::find(const std::string& key) const 
 }
 
 void StorageHierarchy::erase(const std::string& key) {
+  std::scoped_lock lock(mu_);
   const auto rkey = replica_key(key);
   for (auto& t : tiers_) {
     t->erase(key);
@@ -174,6 +182,7 @@ void StorageHierarchy::erase(const std::string& key) {
 
 void StorageHierarchy::attach_fault_injector(
     std::shared_ptr<FaultInjector> faults) {
+  std::scoped_lock lock(mu_);
   faults_ = std::move(faults);
   for (std::size_t i = 0; i < tiers_.size(); ++i) {
     tiers_[i]->set_fault_injector(faults_.get(), i);
@@ -185,6 +194,7 @@ void StorageHierarchy::touch(const std::string& key) const {
 }
 
 IoResult StorageHierarchy::migrate(const std::string& key, std::size_t to_tier) {
+  std::scoped_lock lock(mu_);
   CANOPUS_ASSERT(to_tier < tiers_.size());
   const auto from = find(key);
   CANOPUS_CHECK(from.has_value(), "migrate: object '" + key + "' not found");
@@ -200,6 +210,7 @@ IoResult StorageHierarchy::migrate(const std::string& key, std::size_t to_tier) 
 
 std::vector<std::string> StorageHierarchy::make_room(std::size_t tier,
                                                      std::size_t bytes) {
+  std::scoped_lock lock(mu_);
   CANOPUS_ASSERT(tier < tiers_.size());
   std::vector<std::string> evicted;
   while (tiers_[tier]->free_bytes() < bytes) {

@@ -9,6 +9,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -37,6 +38,22 @@ class StorageHierarchy {
   /// Builds a hierarchy from fastest to slowest.
   explicit StorageHierarchy(std::vector<TierSpec> specs,
                             PlacementPolicy policy = PlacementPolicy::kFastestFit);
+
+  // Movable so factories can return by value; the mutex is not part of the
+  // logical state (each instance gets a fresh one). Moving a hierarchy that
+  // other threads are operating on is a caller bug, exactly as destroying
+  // one would be.
+  StorageHierarchy(StorageHierarchy&& o) noexcept
+      : tiers_(std::move(o.tiers_)),
+        policy_(o.policy_),
+        faults_(std::move(o.faults_)),
+        retry_(o.retry_),
+        round_robin_next_(o.round_robin_next_),
+        access_clock_(o.access_clock_),
+        last_access_(std::move(o.last_access_)) {}
+  StorageHierarchy& operator=(StorageHierarchy&&) = delete;
+  StorageHierarchy(const StorageHierarchy&) = delete;
+  StorageHierarchy& operator=(const StorageHierarchy&) = delete;
 
   std::size_t tier_count() const { return tiers_.size(); }
   StorageTier& tier(std::size_t i) { return *tiers_[i]; }
@@ -124,6 +141,15 @@ class StorageHierarchy {
   bool read_attempts(std::size_t tier, const std::string& key, util::Bytes& out,
                      IoResult& acc, std::exception_ptr& error) const;
 
+  /// Serializes every data-path operation: the progressive reader's
+  /// read-ahead and the refactorer's pipelined committer issue hierarchy I/O
+  /// from pool workers concurrently with the caller's thread. One lock keeps
+  /// tier state, the LRU bookkeeping, and the fault injector's RNG stream
+  /// consistent; it is recursive because compound operations
+  /// (place_with_replica, make_room) reuse the locked primitives. Simulated
+  /// I/O is cheap, so the coarse lock models the one-I/O-aggregator-per-
+  /// storage-target regime rather than costing real throughput.
+  mutable std::recursive_mutex mu_;
   std::vector<std::unique_ptr<StorageTier>> tiers_;
   PlacementPolicy policy_;
   std::shared_ptr<FaultInjector> faults_;

@@ -38,21 +38,36 @@ void ThreadPool::worker_loop() {
   }
 }
 
+bool ThreadPool::on_worker_thread() const {
+  const auto self = std::this_thread::get_id();
+  for (const auto& w : workers_) {
+    if (w.get_id() == self) return true;
+  }
+  return false;
+}
+
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
-                              const std::function<void(std::size_t, std::size_t)>& fn) {
+                              const std::function<void(std::size_t, std::size_t)>& fn,
+                              std::size_t grain) {
   if (begin >= end) return;
   // Re-entrancy guard: a worker of this pool blocking on its own pool's
   // futures would deadlock, so nested calls degrade to inline execution.
-  const auto self = std::this_thread::get_id();
-  for (const auto& w : workers_) {
-    if (w.get_id() == self) {
-      fn(begin, end);
-      return;
-    }
+  if (on_worker_thread()) {
+    fn(begin, end);
+    return;
   }
   const std::size_t n = end - begin;
-  const std::size_t chunks = std::min(n, std::max<std::size_t>(1, size() * 2));
+  std::size_t chunks = std::min(n, std::max<std::size_t>(1, size() * 2));
+  if (grain > 0) {
+    // Respect the minimum useful work per task: never split finer than
+    // `grain` iterations (small loops degrade gracefully to one task).
+    chunks = std::min(chunks, std::max<std::size_t>(1, n / grain));
+  }
   const std::size_t chunk = (n + chunks - 1) / chunks;
+  if (chunks == 1) {
+    fn(begin, end);
+    return;
+  }
   std::vector<std::future<void>> futs;
   futs.reserve(chunks);
   for (std::size_t c = begin; c < end; c += chunk) {

@@ -124,6 +124,32 @@ TEST(Config, LoadsTiersAndRefactor) {
   EXPECT_EQ(hierarchy.tier_count(), 2u);
 }
 
+TEST(Config, ParsesParallelKnobs) {
+  const auto config = cc::load_config(R"(<canopus-config>
+    <storage><tier preset="tmpfs" capacity="4MiB"/></storage>
+    <threads> 4 </threads>
+    <pipeline overlap="false" read-ahead="false"/>
+  </canopus-config>)");
+  EXPECT_EQ(config.refactor.parallel.threads, 4u);
+  EXPECT_FALSE(config.refactor.parallel.pipeline);
+  EXPECT_FALSE(config.refactor.parallel.read_ahead);
+}
+
+TEST(Config, ParallelKnobsDefaultToConcurrent) {
+  const auto config = cc::load_config(kSample);
+  EXPECT_EQ(config.refactor.parallel.threads, 0u);  // 0 = global pool
+  EXPECT_TRUE(config.refactor.parallel.pipeline);
+  EXPECT_TRUE(config.refactor.parallel.read_ahead);
+}
+
+TEST(Config, EmptyThreadsElementThrows) {
+  EXPECT_THROW(cc::load_config(R"(<canopus-config>
+    <storage><tier preset="tmpfs" capacity="4MiB"/></storage>
+    <threads></threads>
+  </canopus-config>)"),
+               canopus::Error);
+}
+
 TEST(Config, CustomTierWithoutPreset) {
   const auto config = cc::load_config(R"(<canopus-config>
     <storage>

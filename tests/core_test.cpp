@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <set>
 
 #include "core/canopus.hpp"
 #include "mesh/cascade.hpp"
@@ -183,6 +185,78 @@ TEST(Refactorer, TieredPlacementFollowsFig1) {
       EXPECT_EQ(p.tier, 2u);
     }
   }
+}
+
+TEST(Refactorer, ChunkTiersReportEveryChunkAndSlowestTier) {
+  // Round-robin placement scatters a chunked delta across tiers; the product
+  // must list every chunk's tier (matching the container index) and report
+  // the slowest of them — not whichever tier the last chunk happened to get.
+  cs::StorageHierarchy tiers({cs::tmpfs_spec(64 << 20), cs::ssd_spec(64 << 20),
+                              cs::lustre_spec(1 << 30)},
+                             cs::PlacementPolicy::kRoundRobin);
+  const auto mesh = cm::make_rect_mesh(40, 40, 1.0, 1.0, 0.1, 13);
+  cc::RefactorConfig config;
+  config.levels = 2;
+  config.delta_chunks = 4;
+  config.tiered_placement = false;  // let the round-robin policy place
+  const auto report = cc::refactor_and_write(tiers, "rr.bp", "v", mesh,
+                                             smooth_field(mesh), config);
+
+  ca::BpReader reader(tiers, "rr.bp");
+  const auto info = reader.inq_var("v");
+  for (const auto& p : report.products) {
+    ASSERT_FALSE(p.chunk_tiers.empty()) << p.name;
+    std::uint32_t slowest = 0;
+    for (std::uint32_t t : p.chunk_tiers) slowest = std::max(slowest, t);
+    EXPECT_EQ(p.tier, slowest) << p.name;
+    if (p.name != "base") {
+      ASSERT_EQ(p.chunk_tiers.size(), 4u);
+      // Ground truth: the per-chunk tiers recorded in the container index.
+      for (const auto& b : info.blocks) {
+        if (b.kind == ca::BlockKind::kDelta && b.level == p.level) {
+          EXPECT_EQ(p.chunk_tiers[b.chunk], b.tier)
+              << p.name << " chunk " << b.chunk;
+        }
+      }
+      // Round-robin over 3 tiers with 4 chunks must actually scatter.
+      const std::set<std::uint32_t> distinct(p.chunk_tiers.begin(),
+                                             p.chunk_tiers.end());
+      EXPECT_GE(distinct.size(), 2u) << p.name;
+    }
+  }
+}
+
+TEST(Refactorer, PrebuiltCascadeMatchesFromScratchRefactor) {
+  // The campaign-style overload must write the exact same container as the
+  // mesh+values entry point, minus the decimation phase.
+  const auto mesh = cm::make_annulus_mesh(12, 72, 0.5, 1.0, 0.1, 9);
+  const auto values = smooth_field(mesh);
+  cc::RefactorConfig config;
+  config.levels = 3;
+
+  auto tiers_a = big_two_tiers();
+  const auto from_scratch =
+      cc::refactor_and_write(tiers_a, "a.bp", "v", mesh, values, config);
+
+  cm::CascadeOptions copt;
+  copt.levels = config.levels;
+  copt.step = config.step;
+  copt.decimate = config.decimate;
+  const auto cascade = cm::build_cascade(mesh, values, copt);
+  auto tiers_b = big_two_tiers();
+  const auto prebuilt =
+      cc::refactor_and_write(tiers_b, "a.bp", "v", cascade, config);
+
+  EXPECT_GT(from_scratch.phases.get("decimation"), 0.0);
+  EXPECT_EQ(prebuilt.phases.get("decimation"), 0.0);
+  ASSERT_EQ(prebuilt.products.size(), from_scratch.products.size());
+  for (std::size_t i = 0; i < prebuilt.products.size(); ++i) {
+    EXPECT_EQ(prebuilt.products[i].name, from_scratch.products[i].name);
+    EXPECT_EQ(prebuilt.products[i].stored_bytes,
+              from_scratch.products[i].stored_bytes);
+    EXPECT_EQ(prebuilt.products[i].tier, from_scratch.products[i].tier);
+  }
+  EXPECT_EQ(prebuilt.level_vertices, from_scratch.level_vertices);
 }
 
 TEST(Refactorer, BypassesFullFastTier) {

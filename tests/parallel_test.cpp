@@ -1,0 +1,333 @@
+// Tests for the task engine (util::ThreadPool) and for the concurrency
+// contract of the refactor/restore pipeline: stress, exception propagation,
+// ordered-reduce sequencing, and the bitwise 1-thread-vs-N-thread identity of
+// both the stored refactor products and the restored fields.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <future>
+#include <map>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+
+#include "core/canopus.hpp"
+#include "core/geometry_cache.hpp"
+#include "mesh/generators.hpp"
+#include "storage/hierarchy.hpp"
+#include "util/thread_pool.hpp"
+
+namespace cc = canopus::core;
+namespace cm = canopus::mesh;
+namespace cs = canopus::storage;
+namespace ca = canopus::adios;
+namespace cu = canopus::util;
+
+namespace {
+
+cm::Field smooth_field(const cm::TriMesh& mesh) {
+  cm::Field f(mesh.vertex_count());
+  for (cm::VertexId v = 0; v < mesh.vertex_count(); ++v) {
+    const auto p = mesh.vertex(v);
+    f[v] = std::sin(p.x * 2.0) * std::cos(p.y * 3.0) + 0.2 * p.y;
+  }
+  return f;
+}
+
+cs::StorageHierarchy three_tiers() {
+  return cs::StorageHierarchy({cs::tmpfs_spec(64 << 20), cs::ssd_spec(128 << 20),
+                               cs::lustre_spec(1 << 30)});
+}
+
+}  // namespace
+
+// -------------------------------------------------------------- task pool --
+
+TEST(ThreadPool, SubmitReturnsTypedResults) {
+  cu::ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  futures.reserve(2000);
+  for (int i = 0; i < 2000; ++i) {
+    futures.push_back(pool.submit([i] { return i * 2; }));
+  }
+  long total = 0;
+  for (auto& f : futures) total += f.get();
+  EXPECT_EQ(total, 2L * 2000 * 1999 / 2);
+}
+
+TEST(ThreadPool, StressSubmitFromManyThreads) {
+  // The queue is shared: hammer it from several producer threads at once.
+  cu::ThreadPool pool(4);
+  std::atomic<long> sum{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&pool, &sum] {
+      std::vector<std::future<void>> futures;
+      for (int i = 0; i < 500; ++i) {
+        futures.push_back(pool.submit([&sum] { sum.fetch_add(1); }));
+      }
+      for (auto& f : futures) f.get();
+    });
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(sum.load(), 4 * 500);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions) {
+  cu::ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+  // The pool survives a throwing task.
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  cu::ThreadPool pool(4);
+  std::vector<int> hits(10'000, 0);
+  pool.parallel_for(
+      0, hits.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+      },
+      /*grain=*/64);
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0),
+            static_cast<int>(hits.size()));
+}
+
+TEST(ThreadPool, ParallelForHonorsGrain) {
+  cu::ThreadPool pool(8);
+  std::atomic<int> chunks{0};
+  pool.parallel_for(
+      0, 1000, [&](std::size_t, std::size_t) { chunks.fetch_add(1); },
+      /*grain=*/400);
+  // 1000 iterations at >= 400 per chunk cannot split more than 2 ways.
+  EXPECT_LE(chunks.load(), 2);
+  EXPECT_GE(chunks.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesFirstException) {
+  cu::ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(0, 1000,
+                                 [](std::size_t lo, std::size_t) {
+                                   if (lo > 0) throw std::runtime_error("mid");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock) {
+  // A worker blocking on its own pool would deadlock a 1-worker pool; the
+  // re-entrancy guard must run the nested loop inline instead.
+  cu::ThreadPool pool(1);
+  std::vector<int> hits(100, 0);
+  auto f = pool.submit([&] {
+    pool.parallel_for(0, hits.size(), [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+    });
+  });
+  f.get();
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 100);
+}
+
+TEST(ThreadPool, OrderedReduceFeedsAscendingIndices) {
+  cu::ThreadPool pool(4);
+  std::vector<std::size_t> seen;
+  pool.ordered_reduce(
+      500,
+      [](std::size_t i) {
+        // Stagger completion so out-of-order finishes are the common case.
+        if (i % 7 == 0) {
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+        return i * 3;
+      },
+      [&](std::size_t i, std::size_t result) {
+        EXPECT_EQ(result, i * 3);
+        seen.push_back(i);
+      });
+  ASSERT_EQ(seen.size(), 500u);
+  for (std::size_t i = 0; i < seen.size(); ++i) EXPECT_EQ(seen[i], i);
+}
+
+TEST(ThreadPool, OrderedReduceBoundsInflightWindow) {
+  cu::ThreadPool pool(2);
+  std::atomic<int> inflight{0};
+  std::atomic<int> peak{0};
+  pool.ordered_reduce(
+      64,
+      [&](std::size_t i) {
+        const int now = inflight.fetch_add(1) + 1;
+        int prev = peak.load();
+        while (now > prev && !peak.compare_exchange_weak(prev, now)) {
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        inflight.fetch_sub(1);
+        return i;
+      },
+      [](std::size_t, std::size_t) {}, /*window=*/3);
+  // No more than `window` maps may ever run or wait enqueued at once.
+  EXPECT_LE(peak.load(), 3);
+}
+
+TEST(ThreadPool, OrderedReduceMapExceptionSurfacesAtItsIndex) {
+  cu::ThreadPool pool(4);
+  std::vector<std::size_t> reduced;
+  EXPECT_THROW(pool.ordered_reduce(
+                   200,
+                   [](std::size_t i) -> std::size_t {
+                     if (i == 123) throw std::runtime_error("map died");
+                     return i;
+                   },
+                   [&](std::size_t i, std::size_t) { reduced.push_back(i); }),
+               std::runtime_error);
+  // Everything before the failing index was reduced, in order; nothing after.
+  ASSERT_EQ(reduced.size(), 123u);
+  for (std::size_t i = 0; i < reduced.size(); ++i) EXPECT_EQ(reduced[i], i);
+  // The pool is still usable afterwards (all inflight maps were drained).
+  EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
+// ----------------------------------------------------------- determinism --
+
+namespace {
+
+cc::RefactorConfig parallel_config(std::size_t threads) {
+  cc::RefactorConfig config;
+  config.levels = 3;
+  config.codec = "zfp";
+  config.error_bound = 1e-6;
+  config.delta_chunks = 4;
+  config.parallel.threads = threads;
+  return config;
+}
+
+/// Every stored object of `var`, keyed by its container index entry, read
+/// back raw (still compressed) from the hierarchy.
+std::map<std::string, cu::Bytes> stored_objects(cs::StorageHierarchy& tiers,
+                                                const std::string& path,
+                                                const std::string& var) {
+  ca::BpReader reader(tiers, path);
+  std::map<std::string, cu::Bytes> objects;
+  for (const auto& record : reader.inq_var(var).blocks) {
+    cu::Bytes bytes;
+    tiers.read(record.object_key, bytes);
+    objects[record.object_key] = std::move(bytes);
+  }
+  return objects;
+}
+
+}  // namespace
+
+TEST(ParallelDeterminism, RefactorProductsBitwiseIdentical1VsN) {
+  const auto mesh = cm::make_annulus_mesh(16, 100, 0.5, 1.0, 0.1, 7);
+  const auto values = smooth_field(mesh);
+
+  auto tiers1 = three_tiers();
+  const auto report1 =
+      cc::refactor_and_write(tiers1, "d.bp", "v", mesh, values,
+                             parallel_config(1));
+  auto tiersN = three_tiers();
+  const auto reportN =
+      cc::refactor_and_write(tiersN, "d.bp", "v", mesh, values,
+                             parallel_config(4));
+
+  // Same products, same sizes, same placement — chunk by chunk.
+  ASSERT_EQ(report1.products.size(), reportN.products.size());
+  for (std::size_t i = 0; i < report1.products.size(); ++i) {
+    const auto& a = report1.products[i];
+    const auto& b = reportN.products[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.raw_bytes, b.raw_bytes);
+    EXPECT_EQ(a.stored_bytes, b.stored_bytes);
+    EXPECT_EQ(a.tier, b.tier);
+    EXPECT_EQ(a.chunk_tiers, b.chunk_tiers);
+  }
+
+  // Same bytes in the container, object by object.
+  const auto objects1 = stored_objects(tiers1, "d.bp", "v");
+  const auto objectsN = stored_objects(tiersN, "d.bp", "v");
+  ASSERT_EQ(objects1.size(), objectsN.size());
+  ASSERT_GT(objects1.size(), 0u);
+  for (const auto& [key, bytes] : objects1) {
+    const auto it = objectsN.find(key);
+    ASSERT_NE(it, objectsN.end()) << key;
+    EXPECT_EQ(bytes, it->second) << key;
+  }
+}
+
+TEST(ParallelDeterminism, RestoredFieldsBitwiseIdentical1VsN) {
+  const auto mesh = cm::make_annulus_mesh(16, 100, 0.5, 1.0, 0.1, 7);
+  auto tiers = three_tiers();
+  cc::refactor_and_write(tiers, "d.bp", "v", mesh, smooth_field(mesh),
+                         parallel_config(4));
+
+  cc::ReaderOptions serial;
+  serial.parallel.threads = 1;
+  serial.parallel.read_ahead = false;
+  cc::ProgressiveReader reader1(tiers, "d.bp", "v", nullptr, serial);
+  reader1.refine_to(0);
+
+  cc::ReaderOptions parallel;
+  parallel.parallel.threads = 4;
+  cc::ProgressiveReader readerN(tiers, "d.bp", "v", nullptr, parallel);
+  readerN.refine_to(0);
+
+  ASSERT_EQ(reader1.values().size(), readerN.values().size());
+  for (std::size_t i = 0; i < reader1.values().size(); ++i) {
+    // Bitwise: the parallel restore must not even reassociate an addition.
+    EXPECT_EQ(reader1.values()[i], readerN.values()[i]) << "vertex " << i;
+  }
+}
+
+TEST(ParallelDeterminism, ReadAheadKeepsSimulatedClock) {
+  // Prefetched I/O is charged to the step that consumes it, so the simulated
+  // retrieval clock must not notice the read-ahead at all.
+  const auto mesh = cm::make_annulus_mesh(14, 90, 0.5, 1.0, 0.1, 5);
+  auto tiers = three_tiers();
+  cc::refactor_and_write(tiers, "d.bp", "v", mesh, smooth_field(mesh),
+                         parallel_config(0));
+  double io_serial = 0.0;
+  std::size_t bytes_serial = 0;
+  {
+    auto fresh = three_tiers();
+    cc::refactor_and_write(fresh, "d.bp", "v", mesh, smooth_field(mesh),
+                           parallel_config(0));
+    cc::ReaderOptions serial;
+    serial.parallel.threads = 1;
+    serial.parallel.read_ahead = false;
+    cc::ProgressiveReader reader(fresh, "d.bp", "v", nullptr, serial);
+    reader.refine_to(0);
+    io_serial = reader.cumulative().io_seconds;
+    bytes_serial = reader.cumulative().bytes_read;
+  }
+  cc::ReaderOptions ahead;  // read_ahead defaults on
+  ahead.parallel.threads = 4;
+  cc::ProgressiveReader reader(tiers, "d.bp", "v", nullptr, ahead);
+  reader.refine_to(0);
+  EXPECT_DOUBLE_EQ(reader.cumulative().io_seconds, io_serial);
+  EXPECT_EQ(reader.cumulative().bytes_read, bytes_serial);
+}
+
+TEST(ParallelDeterminism, GeometryCachePathMatchesOnDemandPath) {
+  // The cached spatial orders and mappings must restore the exact same field
+  // as the read-on-demand path.
+  const auto mesh = cm::make_rect_mesh(40, 40, 1.0, 1.0, 0.1, 13);
+  auto tiers = three_tiers();
+  cc::refactor_and_write(tiers, "d.bp", "v", mesh, smooth_field(mesh),
+                         parallel_config(0));
+  const auto cache = cc::GeometryCache::load(tiers, "d.bp", "v");
+
+  cc::ProgressiveReader plain(tiers, "d.bp", "v");
+  plain.refine_to(0);
+  cc::ReaderOptions opts;
+  opts.parallel.threads = 4;
+  cc::ProgressiveReader cached(tiers, "d.bp", "v", &cache, opts);
+  cached.refine_to(0);
+
+  ASSERT_EQ(plain.values().size(), cached.values().size());
+  for (std::size_t i = 0; i < plain.values().size(); ++i) {
+    EXPECT_EQ(plain.values()[i], cached.values()[i]) << "vertex " << i;
+  }
+}
