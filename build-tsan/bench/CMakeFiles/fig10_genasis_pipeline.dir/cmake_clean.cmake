@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_genasis_pipeline.dir/fig10_genasis_pipeline.cpp.o"
+  "CMakeFiles/fig10_genasis_pipeline.dir/fig10_genasis_pipeline.cpp.o.d"
+  "fig10_genasis_pipeline"
+  "fig10_genasis_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_genasis_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_cfd_pipeline.dir/fig11_cfd_pipeline.cpp.o"
+  "CMakeFiles/fig11_cfd_pipeline.dir/fig11_cfd_pipeline.cpp.o.d"
+  "fig11_cfd_pipeline"
+  "fig11_cfd_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_cfd_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

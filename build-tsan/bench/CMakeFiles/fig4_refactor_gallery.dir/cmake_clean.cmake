@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_refactor_gallery.dir/fig4_refactor_gallery.cpp.o"
+  "CMakeFiles/fig4_refactor_gallery.dir/fig4_refactor_gallery.cpp.o.d"
+  "fig4_refactor_gallery"
+  "fig4_refactor_gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_refactor_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

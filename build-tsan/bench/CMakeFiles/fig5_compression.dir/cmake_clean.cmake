@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_compression.dir/fig5_compression.cpp.o"
+  "CMakeFiles/fig5_compression.dir/fig5_compression.cpp.o.d"
+  "fig5_compression"
+  "fig5_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

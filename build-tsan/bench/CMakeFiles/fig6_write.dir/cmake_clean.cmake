@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_write.dir/fig6_write.cpp.o"
+  "CMakeFiles/fig6_write.dir/fig6_write.cpp.o.d"
+  "fig6_write"
+  "fig6_write.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_write.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_blob_quality.dir/fig8_blob_quality.cpp.o"
+  "CMakeFiles/fig8_blob_quality.dir/fig8_blob_quality.cpp.o.d"
+  "fig8_blob_quality"
+  "fig8_blob_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_blob_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

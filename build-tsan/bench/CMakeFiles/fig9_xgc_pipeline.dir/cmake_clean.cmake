@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_xgc_pipeline.dir/fig9_xgc_pipeline.cpp.o"
+  "CMakeFiles/fig9_xgc_pipeline.dir/fig9_xgc_pipeline.cpp.o.d"
+  "fig9_xgc_pipeline"
+  "fig9_xgc_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_xgc_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quality_metrics.dir/quality_metrics.cpp.o"
+  "CMakeFiles/quality_metrics.dir/quality_metrics.cpp.o.d"
+  "quality_metrics"
+  "quality_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quality_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accuracy_driven_query.dir/accuracy_driven_query.cpp.o"
+  "CMakeFiles/accuracy_driven_query.dir/accuracy_driven_query.cpp.o.d"
+  "accuracy_driven_query"
+  "accuracy_driven_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accuracy_driven_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

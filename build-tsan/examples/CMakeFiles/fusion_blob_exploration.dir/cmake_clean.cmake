@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusion_blob_exploration.dir/fusion_blob_exploration.cpp.o"
+  "CMakeFiles/fusion_blob_exploration.dir/fusion_blob_exploration.cpp.o.d"
+  "fusion_blob_exploration"
+  "fusion_blob_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusion_blob_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

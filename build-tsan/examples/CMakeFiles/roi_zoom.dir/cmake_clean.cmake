@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roi_zoom.dir/roi_zoom.cpp.o"
+  "CMakeFiles/roi_zoom.dir/roi_zoom.cpp.o.d"
+  "roi_zoom"
+  "roi_zoom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roi_zoom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

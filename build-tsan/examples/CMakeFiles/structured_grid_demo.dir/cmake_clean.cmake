@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structured_grid_demo.dir/structured_grid_demo.cpp.o"
+  "CMakeFiles/structured_grid_demo.dir/structured_grid_demo.cpp.o.d"
+  "structured_grid_demo"
+  "structured_grid_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structured_grid_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

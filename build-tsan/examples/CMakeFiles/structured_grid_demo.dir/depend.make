@@ -1,0 +1,2 @@
+# Empty dependencies file for structured_grid_demo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiered_storage_pipeline.dir/tiered_storage_pipeline.cpp.o"
+  "CMakeFiles/tiered_storage_pipeline.dir/tiered_storage_pipeline.cpp.o.d"
+  "tiered_storage_pipeline"
+  "tiered_storage_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiered_storage_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tiered_storage_pipeline.
+# This may be replaced when dependencies are built.

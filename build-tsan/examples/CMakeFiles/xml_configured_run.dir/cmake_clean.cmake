@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_configured_run.dir/xml_configured_run.cpp.o"
+  "CMakeFiles/xml_configured_run.dir/xml_configured_run.cpp.o.d"
+  "xml_configured_run"
+  "xml_configured_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_configured_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

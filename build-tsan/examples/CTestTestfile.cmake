@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build-tsan/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build-tsan/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;8;canopus_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_fusion_blob_exploration "/root/repo/build-tsan/examples/fusion_blob_exploration" "--levels=4" "--raster=200")
+set_tests_properties(example_fusion_blob_exploration PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;9;canopus_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_tiered_storage_pipeline "/root/repo/build-tsan/examples/tiered_storage_pipeline" "--scale=0.2")
+set_tests_properties(example_tiered_storage_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;10;canopus_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_accuracy_driven_query "/root/repo/build-tsan/examples/accuracy_driven_query")
+set_tests_properties(example_accuracy_driven_query PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;11;canopus_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_xml_configured_run "/root/repo/build-tsan/examples/xml_configured_run")
+set_tests_properties(example_xml_configured_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;12;canopus_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_roi_zoom "/root/repo/build-tsan/examples/roi_zoom" "--chunks=32" "--raster=200")
+set_tests_properties(example_roi_zoom PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;13;canopus_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_structured_grid_demo "/root/repo/build-tsan/examples/structured_grid_demo" "--nx=128" "--ny=96")
+set_tests_properties(example_structured_grid_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;14;canopus_example;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adios/bp.cpp" "src/CMakeFiles/canopus_adios.dir/adios/bp.cpp.o" "gcc" "src/CMakeFiles/canopus_adios.dir/adios/bp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/canopus_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/canopus_storage.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/canopus_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canopus_adios.dir/adios/bp.cpp.o"
+  "CMakeFiles/canopus_adios.dir/adios/bp.cpp.o.d"
+  "libcanopus_adios.a"
+  "libcanopus_adios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canopus_adios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

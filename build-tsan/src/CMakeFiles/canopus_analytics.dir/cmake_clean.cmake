@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canopus_analytics.dir/analytics/blob.cpp.o"
+  "CMakeFiles/canopus_analytics.dir/analytics/blob.cpp.o.d"
+  "CMakeFiles/canopus_analytics.dir/analytics/raster.cpp.o"
+  "CMakeFiles/canopus_analytics.dir/analytics/raster.cpp.o.d"
+  "libcanopus_analytics.a"
+  "libcanopus_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canopus_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

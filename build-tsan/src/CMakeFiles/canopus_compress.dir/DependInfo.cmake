@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/fpc.cpp" "src/CMakeFiles/canopus_compress.dir/compress/fpc.cpp.o" "gcc" "src/CMakeFiles/canopus_compress.dir/compress/fpc.cpp.o.d"
+  "/root/repo/src/compress/huffman.cpp" "src/CMakeFiles/canopus_compress.dir/compress/huffman.cpp.o" "gcc" "src/CMakeFiles/canopus_compress.dir/compress/huffman.cpp.o.d"
+  "/root/repo/src/compress/lzss.cpp" "src/CMakeFiles/canopus_compress.dir/compress/lzss.cpp.o" "gcc" "src/CMakeFiles/canopus_compress.dir/compress/lzss.cpp.o.d"
+  "/root/repo/src/compress/registry.cpp" "src/CMakeFiles/canopus_compress.dir/compress/registry.cpp.o" "gcc" "src/CMakeFiles/canopus_compress.dir/compress/registry.cpp.o.d"
+  "/root/repo/src/compress/rle.cpp" "src/CMakeFiles/canopus_compress.dir/compress/rle.cpp.o" "gcc" "src/CMakeFiles/canopus_compress.dir/compress/rle.cpp.o.d"
+  "/root/repo/src/compress/sz_like.cpp" "src/CMakeFiles/canopus_compress.dir/compress/sz_like.cpp.o" "gcc" "src/CMakeFiles/canopus_compress.dir/compress/sz_like.cpp.o.d"
+  "/root/repo/src/compress/zfp_like.cpp" "src/CMakeFiles/canopus_compress.dir/compress/zfp_like.cpp.o" "gcc" "src/CMakeFiles/canopus_compress.dir/compress/zfp_like.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/canopus_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

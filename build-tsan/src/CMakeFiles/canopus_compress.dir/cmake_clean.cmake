@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canopus_compress.dir/compress/fpc.cpp.o"
+  "CMakeFiles/canopus_compress.dir/compress/fpc.cpp.o.d"
+  "CMakeFiles/canopus_compress.dir/compress/huffman.cpp.o"
+  "CMakeFiles/canopus_compress.dir/compress/huffman.cpp.o.d"
+  "CMakeFiles/canopus_compress.dir/compress/lzss.cpp.o"
+  "CMakeFiles/canopus_compress.dir/compress/lzss.cpp.o.d"
+  "CMakeFiles/canopus_compress.dir/compress/registry.cpp.o"
+  "CMakeFiles/canopus_compress.dir/compress/registry.cpp.o.d"
+  "CMakeFiles/canopus_compress.dir/compress/rle.cpp.o"
+  "CMakeFiles/canopus_compress.dir/compress/rle.cpp.o.d"
+  "CMakeFiles/canopus_compress.dir/compress/sz_like.cpp.o"
+  "CMakeFiles/canopus_compress.dir/compress/sz_like.cpp.o.d"
+  "CMakeFiles/canopus_compress.dir/compress/zfp_like.cpp.o"
+  "CMakeFiles/canopus_compress.dir/compress/zfp_like.cpp.o.d"
+  "libcanopus_compress.a"
+  "libcanopus_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canopus_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/byte_split.cpp" "src/CMakeFiles/canopus_core.dir/core/byte_split.cpp.o" "gcc" "src/CMakeFiles/canopus_core.dir/core/byte_split.cpp.o.d"
+  "/root/repo/src/core/campaign.cpp" "src/CMakeFiles/canopus_core.dir/core/campaign.cpp.o" "gcc" "src/CMakeFiles/canopus_core.dir/core/campaign.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/CMakeFiles/canopus_core.dir/core/config.cpp.o" "gcc" "src/CMakeFiles/canopus_core.dir/core/config.cpp.o.d"
+  "/root/repo/src/core/delta.cpp" "src/CMakeFiles/canopus_core.dir/core/delta.cpp.o" "gcc" "src/CMakeFiles/canopus_core.dir/core/delta.cpp.o.d"
+  "/root/repo/src/core/geometry_cache.cpp" "src/CMakeFiles/canopus_core.dir/core/geometry_cache.cpp.o" "gcc" "src/CMakeFiles/canopus_core.dir/core/geometry_cache.cpp.o.d"
+  "/root/repo/src/core/progressive_reader.cpp" "src/CMakeFiles/canopus_core.dir/core/progressive_reader.cpp.o" "gcc" "src/CMakeFiles/canopus_core.dir/core/progressive_reader.cpp.o.d"
+  "/root/repo/src/core/refactorer.cpp" "src/CMakeFiles/canopus_core.dir/core/refactorer.cpp.o" "gcc" "src/CMakeFiles/canopus_core.dir/core/refactorer.cpp.o.d"
+  "/root/repo/src/core/transport.cpp" "src/CMakeFiles/canopus_core.dir/core/transport.cpp.o" "gcc" "src/CMakeFiles/canopus_core.dir/core/transport.cpp.o.d"
+  "/root/repo/src/core/types.cpp" "src/CMakeFiles/canopus_core.dir/core/types.cpp.o" "gcc" "src/CMakeFiles/canopus_core.dir/core/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/canopus_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/canopus_mesh.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/canopus_compress.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/canopus_storage.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/canopus_adios.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canopus_core.dir/core/byte_split.cpp.o"
+  "CMakeFiles/canopus_core.dir/core/byte_split.cpp.o.d"
+  "CMakeFiles/canopus_core.dir/core/campaign.cpp.o"
+  "CMakeFiles/canopus_core.dir/core/campaign.cpp.o.d"
+  "CMakeFiles/canopus_core.dir/core/config.cpp.o"
+  "CMakeFiles/canopus_core.dir/core/config.cpp.o.d"
+  "CMakeFiles/canopus_core.dir/core/delta.cpp.o"
+  "CMakeFiles/canopus_core.dir/core/delta.cpp.o.d"
+  "CMakeFiles/canopus_core.dir/core/geometry_cache.cpp.o"
+  "CMakeFiles/canopus_core.dir/core/geometry_cache.cpp.o.d"
+  "CMakeFiles/canopus_core.dir/core/progressive_reader.cpp.o"
+  "CMakeFiles/canopus_core.dir/core/progressive_reader.cpp.o.d"
+  "CMakeFiles/canopus_core.dir/core/refactorer.cpp.o"
+  "CMakeFiles/canopus_core.dir/core/refactorer.cpp.o.d"
+  "CMakeFiles/canopus_core.dir/core/transport.cpp.o"
+  "CMakeFiles/canopus_core.dir/core/transport.cpp.o.d"
+  "CMakeFiles/canopus_core.dir/core/types.cpp.o"
+  "CMakeFiles/canopus_core.dir/core/types.cpp.o.d"
+  "libcanopus_core.a"
+  "libcanopus_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canopus_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

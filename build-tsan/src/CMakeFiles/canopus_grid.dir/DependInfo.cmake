@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grid/refactor.cpp" "src/CMakeFiles/canopus_grid.dir/grid/refactor.cpp.o" "gcc" "src/CMakeFiles/canopus_grid.dir/grid/refactor.cpp.o.d"
+  "/root/repo/src/grid/structured.cpp" "src/CMakeFiles/canopus_grid.dir/grid/structured.cpp.o" "gcc" "src/CMakeFiles/canopus_grid.dir/grid/structured.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/canopus_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/canopus_storage.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/canopus_adios.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/canopus_compress.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/canopus_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/canopus_mesh.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canopus_grid.dir/grid/refactor.cpp.o"
+  "CMakeFiles/canopus_grid.dir/grid/refactor.cpp.o.d"
+  "CMakeFiles/canopus_grid.dir/grid/structured.cpp.o"
+  "CMakeFiles/canopus_grid.dir/grid/structured.cpp.o.d"
+  "libcanopus_grid.a"
+  "libcanopus_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canopus_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mesh/cascade.cpp" "src/CMakeFiles/canopus_mesh.dir/mesh/cascade.cpp.o" "gcc" "src/CMakeFiles/canopus_mesh.dir/mesh/cascade.cpp.o.d"
+  "/root/repo/src/mesh/decimate.cpp" "src/CMakeFiles/canopus_mesh.dir/mesh/decimate.cpp.o" "gcc" "src/CMakeFiles/canopus_mesh.dir/mesh/decimate.cpp.o.d"
+  "/root/repo/src/mesh/generators.cpp" "src/CMakeFiles/canopus_mesh.dir/mesh/generators.cpp.o" "gcc" "src/CMakeFiles/canopus_mesh.dir/mesh/generators.cpp.o.d"
+  "/root/repo/src/mesh/mesh_io.cpp" "src/CMakeFiles/canopus_mesh.dir/mesh/mesh_io.cpp.o" "gcc" "src/CMakeFiles/canopus_mesh.dir/mesh/mesh_io.cpp.o.d"
+  "/root/repo/src/mesh/point_locator.cpp" "src/CMakeFiles/canopus_mesh.dir/mesh/point_locator.cpp.o" "gcc" "src/CMakeFiles/canopus_mesh.dir/mesh/point_locator.cpp.o.d"
+  "/root/repo/src/mesh/quality.cpp" "src/CMakeFiles/canopus_mesh.dir/mesh/quality.cpp.o" "gcc" "src/CMakeFiles/canopus_mesh.dir/mesh/quality.cpp.o.d"
+  "/root/repo/src/mesh/tri_mesh.cpp" "src/CMakeFiles/canopus_mesh.dir/mesh/tri_mesh.cpp.o" "gcc" "src/CMakeFiles/canopus_mesh.dir/mesh/tri_mesh.cpp.o.d"
+  "/root/repo/src/mesh/validate.cpp" "src/CMakeFiles/canopus_mesh.dir/mesh/validate.cpp.o" "gcc" "src/CMakeFiles/canopus_mesh.dir/mesh/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/canopus_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canopus_mesh.dir/mesh/cascade.cpp.o"
+  "CMakeFiles/canopus_mesh.dir/mesh/cascade.cpp.o.d"
+  "CMakeFiles/canopus_mesh.dir/mesh/decimate.cpp.o"
+  "CMakeFiles/canopus_mesh.dir/mesh/decimate.cpp.o.d"
+  "CMakeFiles/canopus_mesh.dir/mesh/generators.cpp.o"
+  "CMakeFiles/canopus_mesh.dir/mesh/generators.cpp.o.d"
+  "CMakeFiles/canopus_mesh.dir/mesh/mesh_io.cpp.o"
+  "CMakeFiles/canopus_mesh.dir/mesh/mesh_io.cpp.o.d"
+  "CMakeFiles/canopus_mesh.dir/mesh/point_locator.cpp.o"
+  "CMakeFiles/canopus_mesh.dir/mesh/point_locator.cpp.o.d"
+  "CMakeFiles/canopus_mesh.dir/mesh/quality.cpp.o"
+  "CMakeFiles/canopus_mesh.dir/mesh/quality.cpp.o.d"
+  "CMakeFiles/canopus_mesh.dir/mesh/tri_mesh.cpp.o"
+  "CMakeFiles/canopus_mesh.dir/mesh/tri_mesh.cpp.o.d"
+  "CMakeFiles/canopus_mesh.dir/mesh/validate.cpp.o"
+  "CMakeFiles/canopus_mesh.dir/mesh/validate.cpp.o.d"
+  "libcanopus_mesh.a"
+  "libcanopus_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canopus_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

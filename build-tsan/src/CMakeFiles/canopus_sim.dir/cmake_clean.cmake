@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canopus_sim.dir/sim/datasets.cpp.o"
+  "CMakeFiles/canopus_sim.dir/sim/datasets.cpp.o.d"
+  "libcanopus_sim.a"
+  "libcanopus_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canopus_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/aggregation.cpp" "src/CMakeFiles/canopus_storage.dir/storage/aggregation.cpp.o" "gcc" "src/CMakeFiles/canopus_storage.dir/storage/aggregation.cpp.o.d"
+  "/root/repo/src/storage/blob_frame.cpp" "src/CMakeFiles/canopus_storage.dir/storage/blob_frame.cpp.o" "gcc" "src/CMakeFiles/canopus_storage.dir/storage/blob_frame.cpp.o.d"
+  "/root/repo/src/storage/fault.cpp" "src/CMakeFiles/canopus_storage.dir/storage/fault.cpp.o" "gcc" "src/CMakeFiles/canopus_storage.dir/storage/fault.cpp.o.d"
+  "/root/repo/src/storage/hierarchy.cpp" "src/CMakeFiles/canopus_storage.dir/storage/hierarchy.cpp.o" "gcc" "src/CMakeFiles/canopus_storage.dir/storage/hierarchy.cpp.o.d"
+  "/root/repo/src/storage/tier.cpp" "src/CMakeFiles/canopus_storage.dir/storage/tier.cpp.o" "gcc" "src/CMakeFiles/canopus_storage.dir/storage/tier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/canopus_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

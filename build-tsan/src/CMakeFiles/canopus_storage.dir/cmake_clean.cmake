@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canopus_storage.dir/storage/aggregation.cpp.o"
+  "CMakeFiles/canopus_storage.dir/storage/aggregation.cpp.o.d"
+  "CMakeFiles/canopus_storage.dir/storage/blob_frame.cpp.o"
+  "CMakeFiles/canopus_storage.dir/storage/blob_frame.cpp.o.d"
+  "CMakeFiles/canopus_storage.dir/storage/fault.cpp.o"
+  "CMakeFiles/canopus_storage.dir/storage/fault.cpp.o.d"
+  "CMakeFiles/canopus_storage.dir/storage/hierarchy.cpp.o"
+  "CMakeFiles/canopus_storage.dir/storage/hierarchy.cpp.o.d"
+  "CMakeFiles/canopus_storage.dir/storage/tier.cpp.o"
+  "CMakeFiles/canopus_storage.dir/storage/tier.cpp.o.d"
+  "libcanopus_storage.a"
+  "libcanopus_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canopus_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canopus_util.dir/util/cli.cpp.o"
+  "CMakeFiles/canopus_util.dir/util/cli.cpp.o.d"
+  "CMakeFiles/canopus_util.dir/util/crc32.cpp.o"
+  "CMakeFiles/canopus_util.dir/util/crc32.cpp.o.d"
+  "CMakeFiles/canopus_util.dir/util/rng.cpp.o"
+  "CMakeFiles/canopus_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/canopus_util.dir/util/stats.cpp.o"
+  "CMakeFiles/canopus_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/canopus_util.dir/util/table.cpp.o"
+  "CMakeFiles/canopus_util.dir/util/table.cpp.o.d"
+  "CMakeFiles/canopus_util.dir/util/thread_pool.cpp.o"
+  "CMakeFiles/canopus_util.dir/util/thread_pool.cpp.o.d"
+  "CMakeFiles/canopus_util.dir/util/timer.cpp.o"
+  "CMakeFiles/canopus_util.dir/util/timer.cpp.o.d"
+  "CMakeFiles/canopus_util.dir/util/xml.cpp.o"
+  "CMakeFiles/canopus_util.dir/util/xml.cpp.o.d"
+  "libcanopus_util.a"
+  "libcanopus_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canopus_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adios_test.dir/adios_test.cpp.o"
+  "CMakeFiles/adios_test.dir/adios_test.cpp.o.d"
+  "adios_test"
+  "adios_test.pdb"
+  "adios_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adios_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

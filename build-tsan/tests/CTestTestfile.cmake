@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/util_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/compress_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/mesh_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/storage_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/fault_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/adios_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/core_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/analytics_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/sim_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/integration_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/config_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/parallel_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/property_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/roi_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/transport_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/grid_test[1]_include.cmake")
