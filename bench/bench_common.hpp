@@ -23,6 +23,7 @@
 #include "analytics/blob.hpp"
 #include "analytics/raster.hpp"
 #include "core/canopus.hpp"
+#include "obs/observability.hpp"
 #include "sim/datasets.hpp"
 #include "storage/hierarchy.hpp"
 #include "util/cli.hpp"
@@ -109,6 +110,26 @@ inline std::size_t threads_flag(const util::Cli& cli) {
   return static_cast<std::size_t>(cli.get_int("threads", 0));
 }
 
+/// Shared --trace-out flag: `--trace-out=trace.json` enables the
+/// observability layer (metrics + tracing, src/obs) with that Chrome-trace
+/// sink. Call once at startup, before any pipeline work.
+inline void observability_flags(const util::Cli& cli) {
+  if (!cli.has("trace-out")) return;
+  obs::ObservabilityOptions options;
+  options.enabled = true;
+  options.trace_path = cli.get("trace-out", "trace.json");
+  obs::install(options);
+}
+
+/// End-of-run companion of observability_flags(): prints the span/metric
+/// summary tables and writes the Chrome trace. No-op when disabled.
+inline void flush_observability(std::ostream& os) {
+  if (!obs::enabled()) return;
+  obs::write_summary(os);
+  const auto path = obs::flush();
+  if (!path.empty()) os << "chrome trace written to " << path << "\n";
+}
+
 /// Wires a seeded FaultInjector into the slow tier of `tiers` per the
 /// options; no-op when fault_rate is zero. `stream` decorrelates the decision
 /// sequences of the independent per-case hierarchies — with one shared seed
@@ -188,18 +209,26 @@ inline std::vector<PipelineCase> run_pipeline(
     const auto n_levels =
         static_cast<std::size_t>(std::lround(std::log2(ratio))) + 1;
     auto tiers = make_two_tier(raw_bytes);  // base always fits the fast tier
-    core::RefactorConfig config;
-    config.levels = n_levels;
-    config.codec = opt.codec;
-    config.error_bound = opt.error_bound;
-    config.parallel.threads = opt.threads;
-    core::refactor_and_write(tiers, "run.bp", ds.variable, ds.mesh, ds.values,
-                             config);
-    core::ReaderOptions ropt;
-    ropt.parallel.threads = opt.threads;
+    // The facade: one Pipeline per case carries the concurrency knobs;
+    // requests carry the per-call parameters.
+    canopus::PipelineOptions popt;
+    popt.parallel.threads = opt.threads;
     // Fault-injected cases keep the serial read path: read-ahead would issue
     // speculative reads and shift the injector's seeded decision stream.
-    ropt.parallel.read_ahead = opt.fault_rate <= 0.0;
+    popt.parallel.read_ahead = opt.fault_rate <= 0.0;
+    Pipeline pipeline(tiers, popt);
+
+    WriteRequest wreq;
+    wreq.path = "run.bp";
+    wreq.var = ds.variable;
+    wreq.mesh = &ds.mesh;
+    wreq.values = &ds.values;
+    wreq.config.levels = n_levels;
+    wreq.config.codec = opt.codec;
+    wreq.config.error_bound = opt.error_bound;
+    const auto ws = pipeline.write(wreq);
+    if (!ws.ok()) throw Error("refactor failed: " + ws.to_string());
+
     // Meshes are static across a simulation campaign; analytics load the
     // geometry once and reuse it for every timestep, so the per-read cases
     // below exclude that one-time cost — and, like the write, that campaign-
@@ -207,13 +236,19 @@ inline std::vector<PipelineCase> run_pipeline(
     const auto geometry = core::GeometryCache::load(tiers, "run.bp", ds.variable);
     apply_fault_model(tiers, opt, ++fault_stream);
 
+    ReadRequest rreq;
+    rreq.path = "run.bp";
+    rreq.var = ds.variable;
+    rreq.geometry = &geometry;
+
     // (a) construct the next level of accuracy, then analyze it.
     {
-      core::ProgressiveReader reader(tiers, "run.bp", ds.variable, &geometry,
-                                     ropt);
-      auto t = reader.cumulative();
+      std::unique_ptr<core::ProgressiveReader> reader;
+      const auto rs = pipeline.open(rreq, &reader);
+      if (!rs.ok()) throw Error("open failed: " + rs.to_string());
+      auto t = reader->cumulative();
       if (n_levels >= 2) {
-        const auto step = reader.refine();
+        const auto step = reader->refine();
         t += step;
       }
       PipelineCase c;
@@ -225,17 +260,18 @@ inline std::vector<PipelineCase> run_pipeline(
       c.corruptions = t.corruptions_detected;
       c.replica_reads = t.replica_reads;
       if (opt.detect_blobs) {
-        c.analysis = analyze(reader.current_mesh(), reader.values());
+        c.analysis = analyze(reader->current_mesh(), reader->values());
       }
       cases.push_back(c);
     }
 
     // (b) restore full accuracy from base + all deltas.
     if (full_restoration) {
-      core::ProgressiveReader reader(tiers, "run.bp", ds.variable, &geometry,
-                                     ropt);
-      reader.refine_to(0);
-      const auto& t = reader.cumulative();
+      ReadResult full;
+      rreq.target_level = 0;
+      const auto rs = pipeline.read(rreq, &full);
+      if (!rs.usable()) throw Error("full restore failed: " + rs.to_string());
+      const auto& t = full.timings;
       PipelineCase c;
       c.label = std::to_string(ratio);
       c.io = t.io_seconds;

@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   opt.detect_blobs = false;
   opt.error_bound = cli.get_double("eb", 1e-4);
   opt.threads = bench::threads_flag(cli);
+  bench::observability_flags(cli);
 
   sim::GenasisOptions gopt;  // paper-sized: ~130k triangles
   const auto ds = sim::make_genasis_dataset(gopt);
@@ -28,5 +29,7 @@ int main(int argc, char** argv) {
   bench::print_pipeline_table(
       "Fig. 10b restoring full accuracy from base + deltas", full, false,
       std::cout);
+  std::cout << '\n';
+  bench::flush_observability(std::cout);
   return 0;
 }

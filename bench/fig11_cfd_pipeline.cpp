@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   opt.ratios = {2, 4, 8};  // the CFD mesh is small; the paper stops at 8x
   opt.error_bound = cli.get_double("eb", 1e-4);
   opt.threads = bench::threads_flag(cli);
+  bench::observability_flags(cli);
 
   const auto ds = sim::make_cfd_dataset({});
   std::cout << "workload: cfd jet pressure, " << ds.values.size()
@@ -28,5 +29,7 @@ int main(int argc, char** argv) {
   bench::print_pipeline_table(
       "Fig. 11b restoring full accuracy from base + deltas", full, false,
       std::cout);
+  std::cout << '\n';
+  bench::flush_observability(std::cout);
   return 0;
 }

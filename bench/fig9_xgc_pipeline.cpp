@@ -24,6 +24,8 @@ int main(int argc, char** argv) {
   opt.fault_rate = cli.get_double("fault-rate", 0.0);
   opt.fault_seed = static_cast<std::uint64_t>(cli.get_int("fault-seed", 7));
   opt.threads = bench::threads_flag(cli);
+  // --trace-out=trace.json records spans + metrics and exports a Chrome trace.
+  bench::observability_flags(cli);
 
   const auto ds = sim::make_xgc_dataset({});
   std::cout << "workload: xgc1 dpot plane, " << ds.values.size()
@@ -55,5 +57,8 @@ int main(int argc, char** argv) {
   std::cout << "\nfull-accuracy restoration vs raw read: best "
             << util::Table::pct(1.0 - best / none_total)
             << " faster (paper reports up to ~50%)\n";
+
+  std::cout << '\n';
+  bench::flush_observability(std::cout);
   return 0;
 }

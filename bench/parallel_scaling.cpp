@@ -58,6 +58,9 @@ int main(int argc, char** argv) {
   const cu::Cli cli(argc, argv);
   const auto nx = static_cast<std::size_t>(cli.get_int("nx", 360));
   const auto reps = static_cast<std::size_t>(cli.get_int("reps", 3));
+  // --trace-out=trace.json: the JSON output stays on stdout; the summary
+  // tables would corrupt it, so only the Chrome trace file is written.
+  cb::observability_flags(cli);
 
   cc::RefactorConfig config;
   config.levels = static_cast<std::size_t>(cli.get_int("levels", 4));
@@ -145,5 +148,6 @@ int main(int argc, char** argv) {
     first_row = false;
   }
   std::printf("\n  ]\n}\n");
+  canopus::obs::flush();
   return 0;
 }

@@ -26,35 +26,49 @@ int main(int argc, char** argv) {
 
   storage::StorageHierarchy tiers(
       {storage::tmpfs_spec(2 << 20), storage::lustre_spec(1 << 30)});
-  core::RefactorConfig config;
-  config.levels = 5;
-  config.codec = "zfp";
-  config.error_bound = 1e-6;
-  core::refactor_and_write(tiers, "g.bp", ds.variable, ds.mesh, ds.values, config);
+  Pipeline pipeline(tiers);
+  WriteRequest wreq;
+  wreq.path = "g.bp";
+  wreq.var = ds.variable;
+  wreq.mesh = &ds.mesh;
+  wreq.values = &ds.values;
+  wreq.config.levels = 5;
+  wreq.config.codec = "zfp";
+  wreq.config.error_bound = 1e-6;
+  if (!pipeline.write(wreq).ok()) return 1;
 
-  core::ProgressiveReader reader(tiers, "g.bp", ds.variable);
+  // The accuracy-driven query: declare an RMSE tolerance, not a level.
+  ReadRequest rreq;
+  rreq.path = "g.bp";
+  rreq.var = ds.variable;
+  rreq.rmse_threshold = rmse;
+  ReadResult result;
+  if (!pipeline.read(rreq, &result).usable()) return 1;
   std::printf("declared tolerance: rmse < %g between adjacent levels\n\n", rmse);
-  reader.refine_until(rmse);
-  std::printf("stopped at level %u of %zu (decimation %.1fx), io %.3f ms\n",
-              reader.current_level(), reader.level_count(),
-              reader.decimation_ratio(), reader.cumulative().io_seconds * 1e3);
+  std::printf("stopped at level %u of %zu, io %.3f ms\n", result.level,
+              static_cast<std::size_t>(wreq.config.levels),
+              result.timings.io_seconds * 1e3);
 
-  core::ProgressiveReader full(tiers, "g.bp", ds.variable);
-  full.refine_to(0);
+  ReadRequest full_req;
+  full_req.path = "g.bp";
+  full_req.var = ds.variable;
+  full_req.target_level = 0;
+  ReadResult full;
+  if (!pipeline.read(full_req, &full).usable()) return 1;
   std::printf("full accuracy would cost io %.3f ms -> early exit saved %.0f%%\n",
-              full.cumulative().io_seconds * 1e3,
-              100.0 * (1.0 - reader.cumulative().io_seconds /
-                                 full.cumulative().io_seconds));
+              full.timings.io_seconds * 1e3,
+              100.0 * (1.0 - result.timings.io_seconds /
+                                 full.timings.io_seconds));
 
   // How far is the early-exit field from the truth?
-  if (!reader.at_full_accuracy()) {
+  if (result.level > 0) {
     // Compare on the common support by decimating the truth is nontrivial;
     // instead report the RMS of the remaining deltas as an upper bound.
     std::printf("(remaining levels carry the residual detail below rmse %g)\n",
                 rmse);
   } else {
     std::printf("full accuracy reached; max error %.2e\n",
-                util::max_abs_error(ds.values, reader.values()));
+                util::max_abs_error(ds.values, result.values));
   }
   return 0;
 }

@@ -31,13 +31,24 @@ int main() {
               mesh.vertex_count(), mesh.triangle_count(),
               static_cast<double>(values.size() * sizeof(double)) / 1024.0);
 
-  // 3. Refactor into 3 accuracy levels and write across the tiers.
-  core::RefactorConfig config;
-  config.levels = 3;          // L0 (full), L1 (2x), L2 (4x, the base)
-  config.codec = "zfp";
-  config.error_bound = 1e-6;  // absolute bound per stored product
-  const auto report =
-      core::refactor_and_write(tiers, "quickstart.bp", "field", mesh, values, config);
+  // 3. Refactor into 3 accuracy levels and write across the tiers, through
+  //    the Pipeline facade: option-struct request in, Status out.
+  Pipeline pipeline(tiers);
+  WriteRequest wreq;
+  wreq.path = "quickstart.bp";
+  wreq.var = "field";
+  wreq.mesh = &mesh;
+  wreq.values = &values;
+  wreq.config.levels = 3;          // L0 (full), L1 (2x), L2 (4x, the base)
+  wreq.config.codec = "zfp";
+  wreq.config.error_bound = 1e-6;  // absolute bound per stored product
+  WriteResult wres;
+  const Status ws = pipeline.write(wreq, &wres);
+  if (!ws.ok()) {
+    std::printf("write failed: %s\n", ws.to_string().c_str());
+    return 1;
+  }
+  const auto& report = wres.report;
 
   std::printf("\nrefactored products:\n");
   for (const auto& p : report.products) {
@@ -48,23 +59,33 @@ int main() {
                 tiers.tier(p.tier).spec().name.c_str());
   }
 
-  // 4. Progressive read-back: base first, then refine on demand.
-  core::ProgressiveReader reader(tiers, "quickstart.bp", "field");
+  // 4. Progressive read-back: open at base accuracy, then refine on demand.
+  //    (pipeline.read() would fetch a target level in one call; open() hands
+  //    out the step-wise reader for interactive refinement.)
+  ReadRequest rreq;
+  rreq.path = "quickstart.bp";
+  rreq.var = "field";
+  std::unique_ptr<core::ProgressiveReader> reader;
+  const Status rs = pipeline.open(rreq, &reader);
+  if (!rs.ok()) {
+    std::printf("open failed: %s\n", rs.to_string().c_str());
+    return 1;
+  }
   std::printf("\nprogressive retrieval:\n");
   std::printf("  level %u (base): %zu vertices, decimation %.1fx, io %.2f ms\n",
-              reader.current_level(), reader.values().size(),
-              reader.decimation_ratio(),
-              reader.cumulative().io_seconds * 1e3);
-  while (!reader.at_full_accuracy()) {
-    const auto t = reader.refine();
+              reader->current_level(), reader->values().size(),
+              reader->decimation_ratio(),
+              reader->cumulative().io_seconds * 1e3);
+  while (!reader->at_full_accuracy()) {
+    const auto t = reader->refine();
     std::printf(
         "  level %u: %zu vertices, io %.2f ms, decompress %.2f ms, restore %.2f ms\n",
-        reader.current_level(), reader.values().size(), t.io_seconds * 1e3,
+        reader->current_level(), reader->values().size(), t.io_seconds * 1e3,
         t.decompress_seconds * 1e3, t.restore_seconds * 1e3);
   }
 
-  const double err = util::max_abs_error(values, reader.values());
+  const double err = util::max_abs_error(values, reader->values());
   std::printf("\nfull-accuracy max restoration error: %.2e (budget %.2e)\n", err,
-              3.0 * config.error_bound);
-  return err <= 3.0 * config.error_bound ? 0 : 1;
+              3.0 * wreq.config.error_bound);
+  return err <= 3.0 * wreq.config.error_bound ? 0 : 1;
 }

@@ -31,11 +31,26 @@ int main(int argc, char** argv) {
   config.codec = "zfp";
   config.error_bound = 1e-5;
   config.delta_chunks = chunks;  // spatially chunked deltas enable the zoom
-  core::refactor_and_write(tiers, "xgc.bp", "dpot", ds.mesh, ds.values, config);
+  Pipeline pipeline(tiers);
+  WriteRequest wreq;
+  wreq.path = "xgc.bp";
+  wreq.var = "dpot";
+  wreq.mesh = &ds.mesh;
+  wreq.values = &ds.values;
+  wreq.config = config;
+  if (!pipeline.write(wreq).ok()) return 1;
   const auto geometry = core::GeometryCache::load(tiers, "xgc.bp", "dpot");
 
   // --- Step 1: scan the base dataset for blobs. ---------------------------
-  core::ProgressiveReader reader(tiers, "xgc.bp", "dpot", &geometry);
+  // The zoom loop drives refinement interactively, so open() the step-wise
+  // reader rather than issuing one-shot pipeline.read() calls.
+  ReadRequest rreq;
+  rreq.path = "xgc.bp";
+  rreq.var = "dpot";
+  rreq.geometry = &geometry;
+  std::unique_ptr<core::ProgressiveReader> reader_ptr;
+  if (!pipeline.open(rreq, &reader_ptr).ok()) return 1;
+  auto& reader = *reader_ptr;
   const auto bounds = ds.mesh.bounds();
   const double hi = *std::max_element(ds.values.begin(), ds.values.end());
   analytics::BlobParams params;

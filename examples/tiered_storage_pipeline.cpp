@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
       storage::campaign_spec(8ull << 30),
   });
 
+  Pipeline pipeline(tiers);
   core::RefactorConfig config;
   config.levels = 4;
   config.codec = "zfp";
@@ -38,10 +39,20 @@ int main(int argc, char** argv) {
   std::printf("%-9s %-8s %-6s %10s %10s  %s\n", "dataset", "product", "level",
               "raw KiB", "stored KiB", "tier");
   for (const auto& ds : sim::all_datasets(scale)) {
-    const auto report = core::refactor_and_write(tiers, ds.name + ".bp",
-                                                 ds.variable, ds.mesh,
-                                                 ds.values, config);
-    for (const auto& p : report.products) {
+    WriteRequest wreq;
+    wreq.path = ds.name + ".bp";
+    wreq.var = ds.variable;
+    wreq.mesh = &ds.mesh;
+    wreq.values = &ds.values;
+    wreq.config = config;
+    WriteResult wres;
+    const Status ws = pipeline.write(wreq, &wres);
+    if (!ws.ok()) {
+      std::printf("write of %s failed: %s\n", ds.name.c_str(),
+                  ws.to_string().c_str());
+      return 1;
+    }
+    for (const auto& p : wres.report.products) {
       std::printf("%-9s %-8s %-6u %10.1f %10.1f  %u (%s)\n", ds.name.c_str(),
                   p.name.c_str(), p.level,
                   static_cast<double>(p.raw_bytes) / 1024.0,
@@ -64,13 +75,20 @@ int main(int argc, char** argv) {
     const std::string var = std::string(name) == "xgc1"      ? "dpot"
                             : std::string(name) == "genasis" ? "normVec"
                                                              : "pressure";
-    core::ProgressiveReader quick(tiers, std::string(name) + ".bp", var);
-    const double base_io = quick.cumulative().io_seconds;
-    core::ProgressiveReader full(tiers, std::string(name) + ".bp", var);
-    full.refine_to(0);
+    ReadRequest rreq;
+    rreq.path = std::string(name) + ".bp";
+    rreq.var = var;
+    // Base only: the coarsest stored level (levels - 1).
+    rreq.target_level = static_cast<std::uint32_t>(config.levels - 1);
+    ReadResult base;
+    if (!pipeline.read(rreq, &base).usable()) return 1;
+    const double base_io = base.timings.io_seconds;
+    rreq.target_level = 0;  // full accuracy
+    ReadResult full;
+    if (!pipeline.read(rreq, &full).usable()) return 1;
     std::printf("  %-9s base-only io %7.3f ms   full-restore io %7.3f ms (%.1fx)\n",
-                name, base_io * 1e3, full.cumulative().io_seconds * 1e3,
-                full.cumulative().io_seconds / base_io);
+                name, base_io * 1e3, full.timings.io_seconds * 1e3,
+                full.timings.io_seconds / base_io);
   }
   return 0;
 }

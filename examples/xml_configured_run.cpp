@@ -44,6 +44,7 @@ const char* kDefaultConfig = R"(<canopus-config>
           latency-spike="0.02" spike-duration="20ms"/>
   </faults>
   <retry max-attempts="4" backoff="1ms" multiplier="2"/>
+  <observability enabled="true" trace="xml_run_trace.json"/>
 </canopus-config>)";
 }
 
@@ -58,7 +59,10 @@ int main(int argc, char** argv) {
     config = core::load_config(kDefaultConfig);
   }
 
-  auto tiers = config.make_hierarchy();
+  // The facade builds the hierarchy (tiers, faults, retry) and installs the
+  // <observability> plan in one step; the pipeline owns the result.
+  auto pipeline = Pipeline::from_config(config);
+  auto& tiers = pipeline.hierarchy();
   std::printf("hierarchy: ");
   for (std::size_t i = 0; i < tiers.tier_count(); ++i) {
     std::printf("%s%s", i ? " > " : "", tiers.tier(i).spec().name.c_str());
@@ -72,20 +76,38 @@ int main(int argc, char** argv) {
   opt.rings = 40;
   opt.sectors = 200;
   const auto ds = sim::make_xgc_dataset(opt);
-  const auto report = core::refactor_and_write(tiers, "run.bp", ds.variable,
-                                               ds.mesh, ds.values,
-                                               config.refactor);
-  for (const auto& p : report.products) {
+  WriteRequest wreq;
+  wreq.path = "run.bp";
+  wreq.var = ds.variable;
+  wreq.mesh = &ds.mesh;
+  wreq.values = &ds.values;
+  wreq.config = config.refactor;
+  WriteResult wres;
+  const Status ws = pipeline.write(wreq, &wres);
+  if (!ws.ok()) {
+    std::printf("write failed: %s\n", ws.to_string().c_str());
+    return 1;
+  }
+  for (const auto& p : wres.report.products) {
     std::printf("  %-7s -> tier %u (%s), %zu bytes\n", p.name.c_str(), p.tier,
                 tiers.tier(p.tier).spec().name.c_str(), p.stored_bytes);
   }
 
-  core::ProgressiveReader reader(tiers, "run.bp", ds.variable);
-  reader.refine_to(0);
-  std::printf("\nround trip max error: %.2e (budget %.2e)\n",
-              util::max_abs_error(ds.values, reader.values()),
+  ReadRequest rreq;
+  rreq.path = "run.bp";
+  rreq.var = ds.variable;
+  rreq.target_level = 0;  // full accuracy
+  ReadResult rres;
+  const Status rs = pipeline.read(rreq, &rres);
+  if (!rs.usable()) {
+    std::printf("read failed: %s\n", rs.to_string().c_str());
+    return 1;
+  }
+  std::printf("\nround trip max error: %.2e (budget %.2e), status %s\n",
+              util::max_abs_error(ds.values, rres.values),
               static_cast<double>(config.refactor.levels) *
-                  config.refactor.error_bound);
+                  config.refactor.error_bound,
+              rs.to_string().c_str());
   if (const auto* faults = tiers.fault_injector()) {
     const auto& c = faults->counters();
     std::printf(
@@ -94,8 +116,9 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(c.read_errors),
         static_cast<unsigned long long>(c.corruptions),
         static_cast<unsigned long long>(c.latency_spikes),
-        reader.cumulative().retries,
-        core::to_string(reader.last_status()).c_str());
+        rres.timings.retries, core::to_string(rres.refine_status).c_str());
   }
+  const auto trace = pipeline.flush_observability();
+  if (!trace.empty()) std::printf("chrome trace written to %s\n", trace.c_str());
   return 0;
 }

@@ -1,24 +1,38 @@
 #pragma once
 // Umbrella header: the public Canopus API.
 //
-// Typical write side:
+// The preferred entry point is the canopus::Pipeline facade (pipeline.hpp):
 //
 //   storage::StorageHierarchy tiers({storage::tmpfs_spec(...),
 //                                    storage::lustre_spec(...)});
-//   core::RefactorConfig config;            // levels, codec, error bound
-//   core::refactor_and_write(tiers, "run.bp", "dpot", mesh, values, config);
+//   Pipeline pipeline(tiers);
 //
-// Typical read side:
+//   WriteRequest wreq;
+//   wreq.path = "run.bp"; wreq.var = "dpot";
+//   wreq.mesh = &mesh; wreq.values = &values;
+//   Status ws = pipeline.write(wreq);
 //
-//   core::ProgressiveReader reader(tiers, "run.bp", "dpot");
-//   analyze(reader.values(), reader.current_mesh());   // base accuracy
-//   reader.refine();                                   // one level better
-//   reader.refine_to(0);                               // full accuracy
+//   ReadRequest rreq;
+//   rreq.path = "run.bp"; rreq.var = "dpot";
+//   ReadResult data;
+//   Status rs = pipeline.read(rreq, &data);   // full accuracy by default
+//
+// For step-wise elastic refinement, pipeline.open() hands out the underlying
+// ProgressiveReader:
+//
+//   std::unique_ptr<core::ProgressiveReader> reader;
+//   pipeline.open(rreq, &reader);
+//   analyze(reader->values(), reader->current_mesh());  // base accuracy
+//   reader->refine();                                   // one level better
+//
+// The pre-facade entry points (core::refactor_and_write, direct
+// ProgressiveReader construction) remain for source compatibility.
 
 #include "core/byte_split.hpp"
 #include "core/campaign.hpp"
 #include "core/delta.hpp"
 #include "core/geometry_cache.hpp"
+#include "core/pipeline.hpp"
 #include "core/progressive_reader.hpp"
 #include "core/refactorer.hpp"
 #include "core/transport.hpp"

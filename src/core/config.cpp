@@ -253,6 +253,26 @@ RuntimeConfig load_config(const std::string& xml_text) {
     }
     config.retry = policy;
   }
+
+  if (const auto* observability = root->child("observability")) {
+    obs::ObservabilityOptions oo;
+    if (observability->has_attr("enabled")) {
+      oo.enabled = parse_bool(observability->attr("enabled"));
+    } else {
+      // Presence of the element without the attribute means "turn it on".
+      oo.enabled = true;
+    }
+    if (observability->has_attr("trace")) {
+      oo.trace_path = observability->attr("trace");
+    }
+    if (observability->has_attr("histogram-buckets")) {
+      oo.histogram_buckets = static_cast<std::size_t>(
+          std::stoul(observability->attr("histogram-buckets")));
+      CANOPUS_CHECK(oo.histogram_buckets >= 2,
+                    "histogram-buckets must be >= 2");
+    }
+    config.observability = oo;
+  }
   return config;
 }
 

@@ -24,6 +24,8 @@
 //             latency-spike="0.05" spike-duration="20ms"/>
 //     </faults>
 //     <retry max-attempts="4" backoff="1ms" multiplier="2"/>
+//     <observability enabled="true" trace="run-trace.json"
+//                    histogram-buckets="64"/>
 //   </canopus-config>
 //
 // Presets (tmpfs, nvram, ssd, burst-buffer, lustre, campaign) pull the
@@ -40,12 +42,18 @@
 // <threads> pins the task engine's worker count (0 = hardware concurrency)
 // and <pipeline> toggles the writer's compute/commit overlap and the
 // reader's delta read-ahead; both land in RefactorConfig::parallel.
+//
+// The optional <observability> element configures the metrics + tracing
+// layer (src/obs): `enabled` flips the process-wide master switch, `trace`
+// names the Chrome-trace JSON sink, and `histogram-buckets` sets latency
+// histogram resolution (log2 buckets, clamped to [2, 64]).
 
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/types.hpp"
+#include "obs/observability.hpp"
 #include "storage/fault.hpp"
 #include "storage/hierarchy.hpp"
 
@@ -64,6 +72,10 @@ struct RuntimeConfig {
   std::uint64_t fault_seed = 0;
   std::vector<TierFaults> faults;
   std::optional<storage::RetryPolicy> retry;
+
+  /// Metrics + tracing plan from the optional <observability> element;
+  /// nullopt leaves the process-wide observability state untouched.
+  std::optional<obs::ObservabilityOptions> observability;
 
   /// Builds the configured hierarchy, with the fault injector attached and
   /// the retry policy applied when the document configured them.

@@ -1,0 +1,217 @@
+#include "core/pipeline.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "obs/trace.hpp"
+#include "storage/blob_frame.hpp"
+#include "storage/tier.hpp"
+#include "util/assert.hpp"
+
+namespace canopus {
+
+std::string to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kRetried: return "retried";
+    case StatusCode::kDegraded: return "degraded";
+    case StatusCode::kInvalidArgument: return "invalid-argument";
+    case StatusCode::kNotFound: return "not-found";
+    case StatusCode::kIoError: return "io-error";
+    case StatusCode::kIntegrityError: return "integrity-error";
+    case StatusCode::kCapacity: return "capacity";
+    case StatusCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  std::string out = canopus::to_string(code);
+  if (!detail.empty()) out += ": " + detail;
+  return out;
+}
+
+namespace {
+
+/// Maps an in-flight exception to a Status. `not_found_on_error` selects the
+/// meaning of a generic canopus::Error: on the open path a missing container
+/// or variable surfaces as Error, so kNotFound; elsewhere it is an internal
+/// invariant failure.
+Status status_from_exception(bool not_found_on_error) {
+  try {
+    throw;
+  } catch (const storage::CapacityError& e) {
+    return Status::failure(StatusCode::kCapacity, e.what());
+  } catch (const storage::IntegrityError& e) {
+    return Status::failure(StatusCode::kIntegrityError, e.what());
+  } catch (const storage::TierIoError& e) {
+    return Status::failure(StatusCode::kIoError, e.what());
+  } catch (const Error& e) {
+    return Status::failure(
+        not_found_on_error ? StatusCode::kNotFound : StatusCode::kInternal,
+        e.what());
+  } catch (const std::exception& e) {
+    return Status::failure(StatusCode::kInternal, e.what());
+  } catch (...) {
+    return Status::failure(StatusCode::kInternal, "unknown exception");
+  }
+}
+
+/// Post-read classification: fold the reader's refine outcome and robustness
+/// counters into one Status.
+Status status_from_read(core::RefineStatus refine,
+                        const core::RetrievalTimings& timings) {
+  if (refine == core::RefineStatus::kDegraded) {
+    Status s;
+    s.code = StatusCode::kDegraded;
+    s.degraded = true;
+    s.detail = "kept level above the requested accuracy (" +
+               std::to_string(timings.degraded_steps) + " degraded step(s))";
+    return s;
+  }
+  if (refine == core::RefineStatus::kRetried || timings.retries > 0 ||
+      timings.replica_reads > 0) {
+    Status s;
+    s.code = StatusCode::kRetried;
+    return s;
+  }
+  return Status::success();
+}
+
+}  // namespace
+
+Pipeline::Pipeline(storage::StorageHierarchy& hierarchy, PipelineOptions options)
+    : hierarchy_(&hierarchy), options_(std::move(options)) {
+  if (options_.observability.has_value()) obs::install(*options_.observability);
+  if (options_.retry.has_value()) hierarchy_->set_retry_policy(*options_.retry);
+  if (options_.faults) hierarchy_->attach_fault_injector(options_.faults);
+}
+
+Pipeline::Pipeline(storage::StorageHierarchy&& hierarchy, PipelineOptions options)
+    : owned_(std::move(hierarchy)),
+      hierarchy_(&*owned_),
+      options_(std::move(options)) {
+  if (options_.observability.has_value()) obs::install(*options_.observability);
+  if (options_.retry.has_value()) hierarchy_->set_retry_policy(*options_.retry);
+  if (options_.faults) hierarchy_->attach_fault_injector(options_.faults);
+}
+
+Pipeline Pipeline::from_config(const core::RuntimeConfig& config) {
+  PipelineOptions options;
+  options.parallel = config.refactor.parallel;
+  options.observability = config.observability;
+  // make_hierarchy() already attaches the configured fault injector and retry
+  // policy; leaving options.retry/faults unset avoids re-applying them.
+  return Pipeline(config.make_hierarchy(), std::move(options));
+}
+
+Pipeline Pipeline::from_config_file(const std::string& path) {
+  return from_config(core::load_config_file(path));
+}
+
+Status Pipeline::write(const WriteRequest& request, WriteResult* result) {
+  if (request.path.empty() || request.var.empty()) {
+    return Status::failure(StatusCode::kInvalidArgument,
+                           "write: path and var are required");
+  }
+  const bool has_field = request.mesh != nullptr && request.values != nullptr;
+  const bool has_cascade = request.cascade != nullptr;
+  if (has_field == has_cascade) {
+    return Status::failure(
+        StatusCode::kInvalidArgument,
+        "write: provide either (mesh, values) or a cascade, not both/neither");
+  }
+  if (has_field && request.values->size() != request.mesh->vertex_count()) {
+    return Status::failure(StatusCode::kInvalidArgument,
+                           "write: values/mesh size mismatch (" +
+                               std::to_string(request.values->size()) + " vs " +
+                               std::to_string(request.mesh->vertex_count()) +
+                               ")");
+  }
+  core::RefactorConfig config = request.config;
+  config.parallel = options_.parallel;
+  try {
+    CANOPUS_SPAN("pipeline.write", {{"path", request.path},
+                                    {"var", request.var}});
+    core::RefactorReport report =
+        has_cascade ? core::refactor_and_write(*hierarchy_, request.path,
+                                               request.var, *request.cascade,
+                                               config)
+                    : core::refactor_and_write(*hierarchy_, request.path,
+                                               request.var, *request.mesh,
+                                               *request.values, config);
+    if (result) result->report = std::move(report);
+    return Status::success();
+  } catch (...) {
+    return status_from_exception(/*not_found_on_error=*/false);
+  }
+}
+
+Status Pipeline::read(const ReadRequest& request, ReadResult* result) {
+  if (result == nullptr) {
+    return Status::failure(StatusCode::kInvalidArgument,
+                           "read: result must not be null");
+  }
+  if (request.path.empty() || request.var.empty()) {
+    return Status::failure(StatusCode::kInvalidArgument,
+                           "read: path and var are required");
+  }
+  try {
+    CANOPUS_SPAN("pipeline.read", {{"path", request.path},
+                                   {"var", request.var}});
+    return run_read(request, result);
+  } catch (...) {
+    return status_from_exception(/*not_found_on_error=*/true);
+  }
+}
+
+Status Pipeline::run_read(const ReadRequest& request, ReadResult* result) {
+  core::ReaderOptions reader_options;
+  reader_options.parallel = options_.parallel;
+  core::ProgressiveReader reader(*hierarchy_, request.path, request.var,
+                                 request.geometry, reader_options);
+  // Opening retrieved the base; refinement failures from here on are
+  // elastic-degradation, not exceptions.
+  if (request.roi.has_value()) {
+    reader.refine_region(*request.roi);
+  } else if (request.rmse_threshold.has_value()) {
+    reader.refine_until(*request.rmse_threshold);
+  } else {
+    const auto target = std::min<std::uint32_t>(
+        request.target_level,
+        static_cast<std::uint32_t>(reader.level_count() - 1));
+    reader.refine_to(target);
+  }
+  result->values = reader.values();
+  result->mesh = reader.current_mesh();
+  result->level = reader.current_level();
+  result->timings = reader.cumulative();
+  result->refine_status = reader.last_status();
+  return status_from_read(reader.last_status(), reader.cumulative());
+}
+
+Status Pipeline::open(const ReadRequest& request,
+                      std::unique_ptr<core::ProgressiveReader>* reader) {
+  if (reader == nullptr) {
+    return Status::failure(StatusCode::kInvalidArgument,
+                           "open: reader must not be null");
+  }
+  if (request.path.empty() || request.var.empty()) {
+    return Status::failure(StatusCode::kInvalidArgument,
+                           "open: path and var are required");
+  }
+  try {
+    core::ReaderOptions reader_options;
+    reader_options.parallel = options_.parallel;
+    *reader = std::make_unique<core::ProgressiveReader>(
+        *hierarchy_, request.path, request.var, request.geometry,
+        reader_options);
+    return Status::success();
+  } catch (...) {
+    return status_from_exception(/*not_found_on_error=*/true);
+  }
+}
+
+std::string Pipeline::flush_observability() { return obs::flush(); }
+
+}  // namespace canopus

@@ -1,0 +1,199 @@
+#pragma once
+// The redesigned public facade: canopus::Pipeline.
+//
+// Before this facade the public surface had grown organically — two
+// refactor_and_write overloads, a many-argument ProgressiveReader
+// constructor, exceptions on some paths and RefineStatus + counters on
+// others. Pipeline consolidates it: option-struct requests, one
+// Status-returning entry point per direction, and one place (PipelineOptions)
+// where concurrency, fault policy, and observability are configured instead
+// of growing every signature.
+//
+//   storage::StorageHierarchy tiers({...});
+//   Pipeline pipeline(tiers);
+//
+//   WriteRequest wreq;                       // option struct, designated-init
+//   wreq.path = "run.bp"; wreq.var = "dpot";
+//   wreq.mesh = &mesh; wreq.values = &values;
+//   wreq.config.levels = 3;
+//   Status ws = pipeline.write(wreq);
+//
+//   ReadRequest rreq;
+//   rreq.path = "run.bp"; rreq.var = "dpot";
+//   rreq.target_level = 0;                   // full accuracy
+//   ReadResult data;
+//   Status rs = pipeline.read(rreq, &data);  // rs.degraded => partial accuracy
+//
+// The pre-facade entry points (core::refactor_and_write overloads and the
+// core::ProgressiveReader constructor) remain as thin deprecated wrappers
+// around the same engine for source compatibility; new code should come in
+// through Pipeline.
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/config.hpp"
+#include "core/geometry_cache.hpp"
+#include "core/progressive_reader.hpp"
+#include "core/refactorer.hpp"
+#include "obs/observability.hpp"
+#include "storage/hierarchy.hpp"
+
+namespace canopus {
+
+/// Unified result classification for every facade operation. Replaces the
+/// mixed error reporting of the pre-facade API: thrown canopus::Error /
+/// storage::TierIoError / storage::IntegrityError on some paths,
+/// core::RefineStatus plus robustness counters on others.
+enum class StatusCode : std::uint8_t {
+  kOk = 0,            // completed, no faults along the way
+  kRetried = 1,       // completed after tier retries or a replica fallback
+  kDegraded = 2,      // result usable but at reduced accuracy (read path)
+  kInvalidArgument = 3,  // malformed request (caller bug)
+  kNotFound = 4,      // container or variable does not exist
+  kIoError = 5,       // tier I/O failed after every retry and replica
+  kIntegrityError = 6,  // corruption detected and no clean copy remained
+  kCapacity = 7,      // no tier can hold the data (write path)
+  kInternal = 8,      // unexpected failure; detail carries the message
+};
+
+std::string to_string(StatusCode code);
+
+/// Outcome of one Pipeline operation: code + human-readable detail + whether
+/// a usable-but-reduced-accuracy result was produced (the elastic-accuracy
+/// contract: a degraded read keeps the last good level instead of failing).
+struct Status {
+  StatusCode code = StatusCode::kOk;
+  std::string detail;
+  bool degraded = false;
+
+  /// Completed at full requested fidelity (kOk or kRetried).
+  bool ok() const {
+    return code == StatusCode::kOk || code == StatusCode::kRetried;
+  }
+  /// Produced a usable result (ok, or degraded with data to analyze).
+  bool usable() const { return ok() || degraded; }
+
+  std::string to_string() const;  // "code" or "code: detail"
+
+  static Status success() { return {}; }
+  static Status failure(StatusCode code, std::string detail) {
+    return {code, std::move(detail), false};
+  }
+};
+
+/// Everything one refactor-and-write needs. Provide either (mesh, values) —
+/// the full decimate/delta/compress/place pipeline — or a prebuilt cascade
+/// to amortize decimation across a campaign.
+struct WriteRequest {
+  std::string path;  // container name, e.g. "run.bp"
+  std::string var;   // variable name, e.g. "dpot"
+  const mesh::TriMesh* mesh = nullptr;
+  const mesh::Field* values = nullptr;
+  const mesh::Cascade* cascade = nullptr;
+  /// Refactoring knobs. `config.parallel` is ignored: concurrency comes from
+  /// PipelineOptions so it is configured once per pipeline, not per call.
+  core::RefactorConfig config;
+};
+
+struct WriteResult {
+  core::RefactorReport report;
+};
+
+/// Everything one progressive read needs. By default the variable is
+/// restored to full accuracy; `target_level`, `rmse_threshold`, and `roi`
+/// select the elastic alternatives.
+struct ReadRequest {
+  std::string path;
+  std::string var;
+  /// Refine until this accuracy level (0 = full accuracy, N-1 = base only).
+  std::uint32_t target_level = 0;
+  /// When set, stop refining once the RMS change between consecutive levels
+  /// drops below this threshold (Section III-E automated termination);
+  /// overrides target_level.
+  std::optional<double> rmse_threshold;
+  /// When set, perform one focused refinement fetching only the delta chunks
+  /// intersecting this region (Section III-E ROI retrieval); overrides
+  /// target_level and rmse_threshold.
+  std::optional<mesh::Aabb> roi;
+  /// Campaign-lifetime geometry (meshes, mappings, spatial orders); must
+  /// outlive the call. Without it geometry is fetched on demand and charged
+  /// to the timings.
+  const core::GeometryCache* geometry = nullptr;
+};
+
+struct ReadResult {
+  mesh::Field values;    // restored field at `level`
+  mesh::TriMesh mesh;    // its geometry
+  std::uint32_t level = 0;
+  core::RetrievalTimings timings;  // includes the base retrieval
+  core::RefineStatus refine_status = core::RefineStatus::kOk;
+};
+
+/// Pipeline-lifetime configuration: the one place instrumentation, fault
+/// policy, and concurrency are set.
+struct PipelineOptions {
+  /// Worker count / pipeline overlap / read-ahead for both directions.
+  core::ParallelConfig parallel;
+  /// When set, obs::install()ed at construction (enables or disables
+  /// process-wide metrics+tracing). Leave unset to keep the current global
+  /// observability state (e.g. a bench already enabled --trace-out).
+  std::optional<obs::ObservabilityOptions> observability;
+  /// When set, applied to the hierarchy at construction.
+  std::optional<storage::RetryPolicy> retry;
+  /// When set, attached to the hierarchy at construction (seeded fault
+  /// injection for robustness testing).
+  std::shared_ptr<storage::FaultInjector> faults;
+};
+
+class Pipeline {
+ public:
+  /// Borrows `hierarchy` (must outlive the pipeline).
+  explicit Pipeline(storage::StorageHierarchy& hierarchy,
+                    PipelineOptions options = {});
+  /// Takes ownership of `hierarchy`.
+  explicit Pipeline(storage::StorageHierarchy&& hierarchy,
+                    PipelineOptions options = {});
+
+  /// Builds the configured hierarchy (tiers, placement, faults, retry) and
+  /// observability from an XML RuntimeConfig; the pipeline owns the result.
+  static Pipeline from_config(const core::RuntimeConfig& config);
+  static Pipeline from_config_file(const std::string& path);
+
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+
+  storage::StorageHierarchy& hierarchy() { return *hierarchy_; }
+  const storage::StorageHierarchy& hierarchy() const { return *hierarchy_; }
+  const PipelineOptions& options() const { return options_; }
+
+  /// Refactors and writes one variable. Never throws: failures come back as
+  /// a Status (kInvalidArgument, kCapacity, kIoError, ...).
+  Status write(const WriteRequest& request, WriteResult* result = nullptr);
+
+  /// Retrieves one variable at the requested accuracy. Never throws. A
+  /// degraded Status (usable() but not ok()) means faults stopped refinement
+  /// early and `result` holds the last good level.
+  Status read(const ReadRequest& request, ReadResult* result);
+
+  /// Opens a ProgressiveReader at base accuracy for step-wise refinement
+  /// (interactive analytics, ROI zooming). The reader borrows the pipeline's
+  /// hierarchy and inherits its concurrency options; request.target_level /
+  /// rmse_threshold / roi are ignored here.
+  Status open(const ReadRequest& request,
+              std::unique_ptr<core::ProgressiveReader>* reader);
+
+  /// Writes the Chrome trace to the installed observability sink, if any;
+  /// returns the path written ("" when no sink is configured).
+  std::string flush_observability();
+
+ private:
+  Status run_read(const ReadRequest& request, ReadResult* result);
+
+  std::optional<storage::StorageHierarchy> owned_;
+  storage::StorageHierarchy* hierarchy_;
+  PipelineOptions options_;
+};
+
+}  // namespace canopus

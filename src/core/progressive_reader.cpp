@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "core/delta.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "storage/blob_frame.hpp"
 #include "storage/fault.hpp"
 #include "util/assert.hpp"
@@ -92,6 +94,7 @@ ProgressiveReader::ProgressiveReader(storage::StorageHierarchy& hierarchy,
   // The base retrieval rides on the hierarchy's retries + replica fallback
   // (BpWriter replicates base blocks); with no copy left there is nothing to
   // degrade to, so a failure here propagates.
+  CANOPUS_SPAN("read.open_base", {{"var", var_}, {"level", current_level_}});
   adios::ReadTiming data_t;
   values_ = reader_.read_doubles(var_, adios::BlockKind::kBase, current_level_,
                                  &data_t);
@@ -142,6 +145,10 @@ ProgressiveReader::PrefetchedLevel ProgressiveReader::fetch_level(
   // hierarchy then sees the same read sequence as the serial reader, which
   // keeps tier access accounting — and the fault injector's seeded decision
   // stream — reproducible.
+  // The span runs on whichever thread fetches — the caller for a synchronous
+  // fetch, a pool worker for the read-ahead — so the trace shows which reads
+  // were overlapped.
+  CANOPUS_SPAN("read.fetch", {{"level", level}});
   PrefetchedLevel out;
   out.level = level;
   try {
@@ -162,11 +169,18 @@ ProgressiveReader::PrefetchedLevel ProgressiveReader::fetch_level(
 
 ProgressiveReader::PrefetchedLevel ProgressiveReader::take_prefetch(
     std::uint32_t level) {
+  auto& registry = obs::MetricsRegistry::global();
   if (prefetch_.valid()) {
     PrefetchedLevel p = prefetch_.get();
-    if (p.level == level) return p;
+    if (p.level == level) {
+      registry.counter("reader.prefetch_hits").add(1);
+      return p;
+    }
     // Stale read-ahead (a refine_region() or degraded step changed course):
     // drop it. Speculative reads never enter the retrieval clock.
+    registry.counter("reader.prefetch_stale").add(1);
+  } else if (read_ahead_) {
+    registry.counter("reader.prefetch_misses").add(1);
   }
   return fetch_level(level);
 }
@@ -186,6 +200,8 @@ mesh::Field ProgressiveReader::decode_level(PrefetchedLevel fetched,
   if (fetched.error) std::rethrow_exception(fetched.error);
   chunked = fetched.chunked;
 
+  CANOPUS_SPAN("read.decompress",
+               {{"level", fetched.level}, {"chunks", fetched.chunks.size()}});
   std::vector<std::vector<double>> parts(fetched.chunks.size());
   std::vector<double> decode_seconds(fetched.chunks.size(), 0.0);
   pool().parallel_for(0, fetched.chunks.size(), [&](std::size_t lo, std::size_t hi) {
@@ -211,6 +227,7 @@ RetrievalTimings ProgressiveReader::degrade(RetrievalTimings step) {
   // outcome as a status, not an exception — analytics continue on what they
   // have, exactly the elastic-accuracy contract.
   step.degraded_steps += 1;
+  obs::MetricsRegistry::global().counter("reader.degraded_steps").add(1);
   last_status_ = RefineStatus::kDegraded;
   cumulative_ += step;
   return step;
@@ -220,6 +237,8 @@ RetrievalTimings ProgressiveReader::refine() {
   CANOPUS_CHECK(current_level_ > 0, "already at full accuracy");
   const std::uint32_t next = current_level_ - 1;
 
+  // Dynamic span name so the summary table gets one latency row per level.
+  CANOPUS_SPAN("read.refine.L" + std::to_string(next), {{"var", var_}});
   RetrievalTimings step;
   try {
     bool chunked = false;
@@ -234,6 +253,7 @@ RetrievalTimings ProgressiveReader::refine() {
       // it here keeps the hierarchy's global read order identical to the
       // serial reader's.
       if (next > 0) start_prefetch(next - 1);
+      CANOPUS_SPAN("read.restore", {{"level", next}});
       util::WallTimer t;
       if (chunked) delta = unpermute_delta(delta, geometry_->order(next), pool());
       values_ = restore_level(geometry_->meshes[current_level_], values_, delta,
@@ -249,6 +269,7 @@ RetrievalTimings ProgressiveReader::refine() {
       fold(mesh_t, step);
       if (next > 0) start_prefetch(next - 1);
 
+      CANOPUS_SPAN("read.restore", {{"level", next}});
       util::WallTimer t;
       util::ByteReader mesh_reader(mesh_raw);
       const auto fine_mesh = mesh::TriMesh::deserialize(mesh_reader);
@@ -279,6 +300,7 @@ RetrievalTimings ProgressiveReader::refine() {
 RetrievalTimings ProgressiveReader::refine_region(const mesh::Aabb& roi) {
   CANOPUS_CHECK(current_level_ > 0, "already at full accuracy");
   const std::uint32_t next = current_level_ - 1;
+  CANOPUS_SPAN("read.refine_region", {{"level", next}});
   // A pending read-ahead holds every chunk of the level; a regional step
   // wants only a subset with different accounting, so retire it first.
   if (prefetch_.valid()) prefetch_.wait();

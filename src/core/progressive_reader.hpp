@@ -58,6 +58,11 @@ class ProgressiveReader {
  public:
   /// Opens the container and retrieves the base dataset L^{N-1}.
   ///
+  /// Deprecated as a public entry point: prefer canopus::Pipeline::read()
+  /// for one-shot retrieval or Pipeline::open() for step-wise refinement
+  /// (core/pipeline.hpp); both wrap this constructor behind a
+  /// Status-returning API. Kept callable for source compatibility.
+  ///
   /// `geometry`, when given, supplies the per-level meshes, restoration
   /// mappings, and spatial orders from a campaign-lifetime GeometryCache so
   /// that no geometry is read or deserialized on the per-timestep path

@@ -8,6 +8,8 @@
 #include "compress/codec.hpp"
 #include "core/delta.hpp"
 #include "core/geometry_cache.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/thread_pool.hpp"
 
@@ -67,6 +69,7 @@ PreparedLevel prepare_level(const mesh::Cascade& cascade, std::size_t l,
   VertexMapping mapping;
   mesh::Field delta;
   {
+    CANOPUS_SPAN("refactor.delta", {{"level", out.level}});
     util::WallTimer t;
     mapping = build_mapping(fine.mesh, coarse.mesh, &pool);
     delta = compute_delta(coarse.mesh, coarse.values, fine.values, mapping,
@@ -113,7 +116,8 @@ PreparedLevel prepare_level(const mesh::Cascade& cascade, std::size_t l,
   for (std::uint32_t c = 0; c < out.nchunks; ++c) {
     const std::size_t start = payload.size() * c / out.nchunks;
     const std::size_t stop = payload.size() * (c + 1) / out.nchunks;
-    encoded.push_back(pool.submit([&, start, stop]() -> ChunkResult {
+    encoded.push_back(pool.submit([&, c, start, stop]() -> ChunkResult {
+      CANOPUS_SPAN("refactor.compress", {{"level", out.level}, {"chunk", c}});
       ChunkResult r;
       if (out.nchunks > 1) {
         r.range.start = start;
@@ -160,6 +164,7 @@ PreparedLevel prepare_level(const mesh::Cascade& cascade, std::size_t l,
 void commit_level(adios::BpWriter& writer, storage::StorageHierarchy& hierarchy,
                   const std::string& var, const RefactorConfig& config,
                   RefactorReport& report, PreparedLevel prepared) {
+  CANOPUS_SPAN("refactor.commit", {{"level", prepared.level}});
   const auto hint =
       tier_hint_for(config, hierarchy, prepared.level, prepared.raw_bytes);
   report.phases.add("delta+compress", prepared.compute_seconds);
@@ -223,6 +228,7 @@ RefactorReport refactor_and_write(storage::StorageHierarchy& hierarchy,
   RefactorReport report;
   mesh::Cascade cascade;
   report.phases.time("decimation", [&] {
+    CANOPUS_SPAN("refactor.decimate", {{"levels", config.levels}});
     mesh::CascadeOptions copt;
     copt.levels = config.levels;
     copt.step = config.step;
@@ -247,6 +253,8 @@ RefactorReport refactor_and_write(storage::StorageHierarchy& hierarchy,
   CANOPUS_CHECK(config.levels >= 1, "refactor needs at least one level");
   CANOPUS_CHECK(cascade.level_count() == config.levels,
                 "cascade does not match config.levels");
+  CANOPUS_SPAN("refactor.write", {{"var", var}, {"levels", config.levels}});
+  obs::MetricsRegistry::global().counter("refactor.variables").add(1);
   RefactorReport report;
   for (const auto& level : cascade.levels) {
     report.level_vertices.push_back(level.mesh.vertex_count());

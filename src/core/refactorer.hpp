@@ -48,6 +48,10 @@ struct RefactorReport {
 /// them as variable `var` into the container at `path`. The input (level 0)
 /// itself is not stored — only the base and the deltas, per Section III-C2.
 ///
+/// Deprecated as a public entry point: prefer canopus::Pipeline::write()
+/// (core/pipeline.hpp), which wraps this engine behind a Status-returning
+/// request/response API. Kept callable for source compatibility.
+///
 /// The pipeline is concurrent per config.parallel: delta chunks encode in
 /// parallel, the Morton permutation and per-chunk bounding boxes fan out on
 /// the pool, and level l's mapping+delta computation overlaps level l+1's

@@ -1,0 +1,247 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <iomanip>
+#include <ostream>
+#include <thread>
+
+namespace canopus::obs {
+
+namespace detail {
+
+std::size_t shard_index() {
+  // Hash of the thread id, computed once per thread. thread_local keeps it a
+  // plain load on every metric update.
+  static thread_local const std::size_t slot =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % kMetricShards;
+  return slot;
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------- Counter --
+
+std::uint64_t Counter::value() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Counter::reset() {
+  for (auto& s : shards_) s.v.store(0, std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------------------ Gauge --
+
+void Gauge::reset() {
+  v_.store(0, std::memory_order_relaxed);
+  max_.v.store(0, std::memory_order_relaxed);
+}
+
+// -------------------------------------------------------------- Histogram --
+
+namespace {
+std::size_t clamp_buckets(std::size_t buckets) {
+  return std::clamp<std::size_t>(buckets, 2, kMaxHistogramBuckets);
+}
+}  // namespace
+
+Histogram::Histogram(std::size_t buckets) : buckets_(clamp_buckets(buckets)) {}
+
+std::size_t Histogram::bucket_index(double value, std::size_t buckets) {
+  buckets = clamp_buckets(buckets);
+  if (!(value >= 1.0)) return 0;  // also catches NaN and negatives
+  // floor(log2(value)) via frexp: value in [2^(e-1), 2^e) => exponent e.
+  int exp = 0;
+  std::frexp(value, &exp);  // value = m * 2^exp with m in [0.5, 1)
+  const std::size_t idx = static_cast<std::size_t>(exp);  // exp >= 1 here
+  return std::min(idx, buckets - 1);
+}
+
+double Histogram::bucket_lower_bound(std::size_t index) {
+  if (index == 0) return 0.0;
+  return std::ldexp(1.0, static_cast<int>(index) - 1);  // 2^(index-1)
+}
+
+void Histogram::observe(double value) {
+  if (!enabled()) return;
+  auto& shard = shards_[detail::shard_index()];
+  shard.buckets[bucket_index(value, buckets_)].fetch_add(
+      1, std::memory_order_relaxed);
+  // atomic<double> has no fetch_add pre-C++20 on all targets; CAS loop.
+  double cur = shard.sum.load(std::memory_order_relaxed);
+  while (!shard.sum.compare_exchange_weak(cur, cur + value,
+                                          std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) {
+    for (std::size_t b = 0; b < buckets_; ++b) {
+      total += s.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+double Histogram::sum() const {
+  double total = 0.0;
+  for (const auto& s : shards_) total += s.sum.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(buckets_, 0);
+  for (const auto& s : shards_) {
+    for (std::size_t b = 0; b < buckets_; ++b) {
+      out[b] += s.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+double Histogram::quantile(double q) const {
+  const auto counts = bucket_counts();
+  std::uint64_t total = 0;
+  for (const auto c : counts) total += c;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(total - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    seen += counts[b];
+    if (seen > rank) return bucket_lower_bound(b);
+  }
+  return bucket_lower_bound(counts.size() - 1);
+}
+
+void Histogram::reset() {
+  for (auto& s : shards_) {
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+    s.sum.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+// ----------------------------------------------------------- Snapshot ------
+
+const MetricsSnapshot::Entry* MetricsSnapshot::find(
+    const std::string& name) const {
+  for (const auto& e : entries) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+// ----------------------------------------------------------- Registry ------
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // leaked: see hpp
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(default_buckets_);
+  return *slot;
+}
+
+void MetricsRegistry::set_default_histogram_buckets(std::size_t buckets) {
+  std::lock_guard lock(mu_);
+  default_buckets_ = clamp_buckets(buckets);
+}
+
+std::size_t MetricsRegistry::default_histogram_buckets() const {
+  std::lock_guard lock(mu_);
+  return default_buckets_;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) {
+    MetricsSnapshot::Entry e;
+    e.name = name;
+    e.kind = MetricsSnapshot::Entry::Kind::kCounter;
+    e.count = c->value();
+    snap.entries.push_back(std::move(e));
+  }
+  for (const auto& [name, g] : gauges_) {
+    MetricsSnapshot::Entry e;
+    e.name = name;
+    e.kind = MetricsSnapshot::Entry::Kind::kGauge;
+    e.gauge = g->value();
+    e.gauge_max = g->max_value();
+    snap.entries.push_back(std::move(e));
+  }
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::Entry e;
+    e.name = name;
+    e.kind = MetricsSnapshot::Entry::Kind::kHistogram;
+    e.count = h->count();
+    e.sum = h->sum();
+    e.p50 = h->quantile(0.5);
+    e.p99 = h->quantile(0.99);
+    e.buckets = h->bucket_counts();
+    snap.entries.push_back(std::move(e));
+  }
+  std::sort(snap.entries.begin(), snap.entries.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+void MetricsRegistry::print_summary(std::ostream& os) const {
+  const auto snap = snapshot();
+  os << "-- metrics " << std::string(47, '-') << '\n';
+  bool any = false;
+  for (const auto& e : snap.entries) {
+    using Kind = MetricsSnapshot::Entry::Kind;
+    switch (e.kind) {
+      case Kind::kCounter:
+        if (e.count == 0) continue;
+        os << "  " << std::left << std::setw(36) << e.name << ' ' << e.count
+           << '\n';
+        break;
+      case Kind::kGauge:
+        if (e.gauge == 0 && e.gauge_max == 0) continue;
+        os << "  " << std::left << std::setw(36) << e.name << ' ' << e.gauge
+           << " (max " << e.gauge_max << ")\n";
+        break;
+      case Kind::kHistogram:
+        if (e.count == 0) continue;
+        os << "  " << std::left << std::setw(36) << e.name << " n=" << e.count
+           << " mean=" << std::fixed << std::setprecision(1)
+           << (e.sum / static_cast<double>(e.count)) << " p50=" << e.p50
+           << " p99=" << e.p99 << std::defaultfloat << '\n';
+        break;
+    }
+    any = true;
+  }
+  if (!any) os << "  (no metrics recorded)\n";
+}
+
+}  // namespace canopus::obs

@@ -1,0 +1,62 @@
+#include "obs/observability.hpp"
+
+#include <mutex>
+#include <ostream>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace canopus::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}
+
+namespace {
+std::mutex g_options_mu;
+ObservabilityOptions g_options;
+}  // namespace
+
+void install(const ObservabilityOptions& options) {
+  {
+    std::lock_guard lock(g_options_mu);
+    g_options = options;
+  }
+  MetricsRegistry::global().set_default_histogram_buckets(
+      options.histogram_buckets);
+  if (options.enabled) {
+    // Fresh run: recorded data from before this install would pollute the
+    // exported trace and the summary tables.
+    TraceRecorder::global().clear();
+    MetricsRegistry::global().reset();
+  }
+  detail::g_enabled.store(options.enabled, std::memory_order_relaxed);
+}
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+const ObservabilityOptions& options() {
+  // Returned by reference for cheap read access; installs happen at run
+  // setup, not concurrently with readers.
+  return g_options;
+}
+
+std::string flush() {
+  std::string path;
+  {
+    std::lock_guard lock(g_options_mu);
+    path = g_options.trace_path;
+  }
+  if (path.empty()) return "";
+  TraceRecorder::global().save_chrome_trace(path);
+  return path;
+}
+
+void write_summary(std::ostream& os) {
+  TraceRecorder::global().print_summary(os);
+  MetricsRegistry::global().print_summary(os);
+}
+
+}  // namespace canopus::obs

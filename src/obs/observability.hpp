@@ -1,0 +1,76 @@
+#pragma once
+// Observability master switch and run-wide options.
+//
+// Canopus' core claims are cost/accuracy trade-offs (refactor overhead vs
+// write speed, progressive-read latency per accuracy level); this module is
+// the single place those numbers are collected. Two collectors hang off it:
+//
+//   * obs/metrics.hpp  — MetricsRegistry: counters, gauges, log2 histograms,
+//     sharded so hot-path updates are a relaxed atomic add.
+//   * obs/trace.hpp    — TraceRecorder: nested wall-clock spans with thread
+//     attribution, exportable as Chrome trace_event JSON and a summary table.
+//
+// Both are disabled by default: every instrumentation site first checks
+// obs::enabled(), a single relaxed atomic load, so the instrumented build
+// costs nothing measurable until a Pipeline, an XML <observability> block, or
+// a bench --trace-out flag turns it on. Recording never takes a shared lock
+// on the hot path and never consumes entropy, so enabling observability
+// cannot perturb task ordering or the storage fault injector's seeded
+// decision stream (the 1-vs-N bitwise determinism contract holds with
+// tracing on).
+//
+// This module is deliberately self-contained (standard library only): it
+// sits below util/ in the dependency order so even the thread pool can be
+// instrumented.
+
+#include <atomic>
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+namespace canopus::obs {
+
+/// Run-wide observability configuration, settable from XML
+/// (<observability enabled=".." trace=".." histogram-buckets=".."/>), from
+/// bench flags (--trace-out), or programmatically via a Pipeline.
+struct ObservabilityOptions {
+  /// Master switch for metrics and tracing.
+  bool enabled = false;
+  /// When non-empty, flush() writes the Chrome trace_event JSON here
+  /// (load in about://tracing or https://ui.perfetto.dev).
+  std::string trace_path;
+  /// Histogram resolution: number of log2 buckets per histogram (bucket 0
+  /// holds values < 1, bucket i holds [2^(i-1), 2^i)). Clamped to [2, 64].
+  std::size_t histogram_buckets = 64;
+};
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}
+
+/// True when observability is recording. A relaxed load: safe (and cheap)
+/// to call on any hot path.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Applies `options` process-wide: sets the histogram resolution, clears any
+/// previously recorded spans/metrics when (re-)enabling, and flips the
+/// master switch. Call before the instrumented run starts.
+void install(const ObservabilityOptions& options);
+
+/// Flips the master switch without touching recorded data or options.
+void set_enabled(bool on);
+
+/// The currently installed options.
+const ObservabilityOptions& options();
+
+/// Writes the Chrome trace to options().trace_path when one is configured.
+/// Returns the path written, or an empty string when no sink is set.
+std::string flush();
+
+/// Prints the span summary table followed by the metrics table — the
+/// plaintext companion of the Chrome trace.
+void write_summary(std::ostream& os);
+
+}  // namespace canopus::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <exception>
 
+#include "obs/metrics.hpp"
 #include "storage/blob_frame.hpp"
 #include "util/assert.hpp"
 
@@ -49,9 +50,10 @@ std::pair<std::size_t, IoResult> StorageHierarchy::place(const std::string& key,
   std::scoped_lock lock(mu_);
   erase(key);  // replacing an object must not leak capacity on another tier
   const auto choice = choose_tier(data.size());
-  CANOPUS_CHECK(choice.has_value(),
-                "no tier can hold '" + key + "' (" +
-                    std::to_string(data.size()) + " bytes)");
+  if (!choice.has_value()) {
+    throw CapacityError("no tier can hold '" + key + "' (" +
+                        std::to_string(data.size()) + " bytes)");
+  }
   touch(key);
   return {*choice, tiers_[*choice]->write(key, data)};
 }
@@ -142,6 +144,9 @@ IoResult StorageHierarchy::read(const std::string& key, util::Bytes& out) const 
   IoResult acc;
   std::exception_ptr error;
   if (read_attempts(*where, key, out, acc, error)) {
+    if (obs::enabled() && acc.retries > 0) {
+      obs::MetricsRegistry::global().counter("hierarchy.retries").add(acc.retries);
+    }
     CANOPUS_CHECK(out.size() == tiers_[*where]->object_size(key),
                   "short read of '" + key + "': got " +
                       std::to_string(out.size()) + " of " +
@@ -154,6 +159,11 @@ IoResult StorageHierarchy::read(const std::string& key, util::Bytes& out) const 
   const auto rtier = find(rkey);
   if (rtier.has_value() && read_attempts(*rtier, rkey, out, acc, error)) {
     acc.from_replica = true;
+    if (obs::enabled()) {
+      auto& registry = obs::MetricsRegistry::global();
+      registry.counter("hierarchy.replica_fallbacks").add(1);
+      if (acc.retries > 0) registry.counter("hierarchy.retries").add(acc.retries);
+    }
     CANOPUS_CHECK(out.size() == tiers_[*rtier]->object_size(rkey),
                   "short read of replica '" + rkey + "'");
     return acc;
@@ -227,8 +237,8 @@ std::vector<std::string> StorageHierarchy::make_room(std::size_t tier,
     if (victim.empty()) {
       // Fall back to any object on the tier (untracked keys).
       // Tiers do not expose iteration; treat as unsatisfiable.
-      throw Error("make_room: cannot free " + std::to_string(bytes) +
-                  " bytes on tier '" + tiers_[tier]->spec().name + "'");
+      throw CapacityError("make_room: cannot free " + std::to_string(bytes) +
+                          " bytes on tier '" + tiers_[tier]->spec().name + "'");
     }
     // Demote to the first lower tier that fits.
     const std::size_t size = tiers_[tier]->object_size(victim);

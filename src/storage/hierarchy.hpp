@@ -19,6 +19,14 @@
 
 namespace canopus::storage {
 
+/// Thrown when no tier (or no eviction plan) can absorb an object. A typed
+/// subclass so the Pipeline facade can report StatusCode::kCapacity without
+/// parsing messages.
+class CapacityError : public Error {
+ public:
+  explicit CapacityError(const std::string& what) : Error(what) {}
+};
+
 enum class PlacementPolicy : std::uint8_t {
   kFastestFit,   // paper default: fastest tier with room, bypass when full
   kSlowestOnly,  // everything on the last tier (the "no hierarchy" baseline)

@@ -3,6 +3,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "obs/metrics.hpp"
 #include "storage/blob_frame.hpp"
 #include "storage/fault.hpp"
 #include "util/assert.hpp"
@@ -11,6 +12,15 @@
 namespace canopus::storage {
 
 namespace fs = std::filesystem;
+
+namespace {
+/// Per-tier counter, e.g. count_for("lustre", "reads") -> "storage.lustre.reads".
+/// Callers guard with obs::enabled() so the name concatenation and registry
+/// lookup cost nothing when observability is off.
+obs::Counter& count_for(const std::string& tier, const char* what) {
+  return obs::MetricsRegistry::global().counter("storage." + tier + "." + what);
+}
+}  // namespace
 
 StorageTier::StorageTier(TierSpec spec) : spec_(std::move(spec)) {
   CANOPUS_CHECK(spec_.read_bandwidth > 0 && spec_.write_bandwidth > 0,
@@ -43,10 +53,15 @@ IoResult StorageTier::write(const std::string& key, util::BytesView data) {
   if (faults_) {
     const auto d = faults_->on_write(fault_index_);
     if (d.fail) {
+      if (obs::enabled()) count_for(spec_.name, "injected_write_faults").add(1);
       throw TierIoError("injected write failure on tier '" + spec_.name +
                         "' for '" + key + "'");
     }
     extra_seconds = d.extra_seconds;
+  }
+  if (obs::enabled()) {
+    count_for(spec_.name, "writes").add(1);
+    count_for(spec_.name, "write_bytes").add(data.size());
   }
   util::WallTimer timer;
   const util::Bytes framed = frame_blob(data);
@@ -85,16 +100,22 @@ IoResult StorageTier::read(const std::string& key, util::Bytes& out) const {
   if (faults_) {
     const auto d = faults_->on_read(fault_index_);
     if (d.fail) {
+      if (obs::enabled()) count_for(spec_.name, "injected_read_faults").add(1);
       throw TierIoError("injected read failure on tier '" + spec_.name +
                         "' for '" + key + "'");
     }
     if (d.corrupt && !framed.empty()) {
+      if (obs::enabled()) count_for(spec_.name, "injected_corruptions").add(1);
       const std::uint64_t bit = d.corrupt_bit % (framed.size() * 8);
       framed[bit / 8] ^= static_cast<std::byte>(1u << (bit % 8));
     }
     extra_seconds = d.extra_seconds;
   }
   out = unframe_blob(framed);  // throws IntegrityError on corruption
+  if (obs::enabled()) {
+    count_for(spec_.name, "reads").add(1);
+    count_for(spec_.name, "read_bytes").add(out.size());
+  }
   return IoResult{read_cost(out.size()) + extra_seconds, timer.seconds(),
                   out.size()};
 }

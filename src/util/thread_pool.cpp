@@ -1,9 +1,20 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 
+#include "obs/metrics.hpp"
+
 namespace canopus::util {
+
+namespace {
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -24,9 +35,32 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+void ThreadPool::enqueue(std::function<void()> fn) {
+  QueuedTask task{std::move(fn), 0};
+  if (obs::enabled()) {
+    task.enqueue_ns = steady_now_ns();
+  }
+  std::size_t depth = 0;
+  {
+    std::lock_guard lock(mu_);
+    queue_.push(std::move(task));
+    depth = queue_.size();
+  }
+  if (obs::enabled()) {
+    // Registry handles are created once and stay valid for the process
+    // lifetime (the registry is leaked), so caching them here is safe.
+    static auto& tasks = obs::MetricsRegistry::global().counter("pool.tasks");
+    static auto& queue_depth =
+        obs::MetricsRegistry::global().gauge("pool.queue_depth");
+    tasks.add(1);
+    queue_depth.set(static_cast<std::int64_t>(depth));
+  }
+  cv_.notify_one();
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -34,7 +68,13 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();
+    if (task.enqueue_ns != 0 && obs::enabled()) {
+      static auto& wait =
+          obs::MetricsRegistry::global().histogram("pool.task_wait_us");
+      wait.observe(static_cast<double>(steady_now_ns() - task.enqueue_ns) /
+                   1e3);
+    }
+    task.fn();
   }
 }
 

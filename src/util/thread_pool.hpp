@@ -45,11 +45,7 @@ class ThreadPool {
     using R = std::invoke_result_t<std::decay_t<F>>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     auto fut = task->get_future();
-    {
-      std::lock_guard lock(mu_);
-      queue_.emplace([task] { (*task)(); });
-    }
-    cv_.notify_one();
+    enqueue([task] { (*task)(); });
     return fut;
   }
 
@@ -108,11 +104,21 @@ class ThreadPool {
   static ThreadPool& global();
 
  private:
+  /// One queued task; `enqueue_ns` is stamped only while observability is
+  /// enabled (0 otherwise) so the disabled path never reads the clock.
+  struct QueuedTask {
+    std::function<void()> fn;
+    std::int64_t enqueue_ns = 0;
+  };
+
+  /// Type-erased enqueue: pushes, updates the pool metrics (task count,
+  /// queue depth) when enabled, and wakes a worker.
+  void enqueue(std::function<void()> fn);
   void worker_loop();
   bool on_worker_thread() const;
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<QueuedTask> queue_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;

@@ -17,6 +17,8 @@
 #include "core/canopus.hpp"
 #include "core/geometry_cache.hpp"
 #include "mesh/generators.hpp"
+#include "obs/observability.hpp"
+#include "obs/trace.hpp"
 #include "storage/hierarchy.hpp"
 #include "util/thread_pool.hpp"
 
@@ -279,6 +281,49 @@ TEST(ParallelDeterminism, RestoredFieldsBitwiseIdentical1VsN) {
     // Bitwise: the parallel restore must not even reassociate an addition.
     EXPECT_EQ(reader1.values()[i], readerN.values()[i]) << "vertex " << i;
   }
+}
+
+TEST(ParallelDeterminism, RestoredFieldsBitwiseIdenticalWithTracingOn) {
+  // Observability must be a pure observer: spans and metrics read wall clocks
+  // but never touch task ordering or the fault RNG, so the 1-vs-N bitwise
+  // identity has to survive with recording enabled.
+  canopus::obs::ObservabilityOptions oopt;
+  oopt.enabled = true;
+  canopus::obs::install(oopt);
+
+  const auto mesh = cm::make_annulus_mesh(16, 100, 0.5, 1.0, 0.1, 7);
+  auto tiers1 = three_tiers();
+  cc::refactor_and_write(tiers1, "d.bp", "v", mesh, smooth_field(mesh),
+                         parallel_config(1));
+  auto tiersN = three_tiers();
+  cc::refactor_and_write(tiersN, "d.bp", "v", mesh, smooth_field(mesh),
+                         parallel_config(4));
+  const auto objects1 = stored_objects(tiers1, "d.bp", "v");
+  const auto objectsN = stored_objects(tiersN, "d.bp", "v");
+  ASSERT_EQ(objects1.size(), objectsN.size());
+  for (const auto& [key, bytes] : objects1) {
+    const auto it = objectsN.find(key);
+    ASSERT_NE(it, objectsN.end()) << key;
+    EXPECT_EQ(bytes, it->second) << key;
+  }
+
+  cc::ReaderOptions serial;
+  serial.parallel.threads = 1;
+  serial.parallel.read_ahead = false;
+  cc::ProgressiveReader reader1(tiers1, "d.bp", "v", nullptr, serial);
+  reader1.refine_to(0);
+  cc::ReaderOptions parallel;
+  parallel.parallel.threads = 4;
+  cc::ProgressiveReader readerN(tiersN, "d.bp", "v", nullptr, parallel);
+  readerN.refine_to(0);
+  ASSERT_EQ(reader1.values().size(), readerN.values().size());
+  for (std::size_t i = 0; i < reader1.values().size(); ++i) {
+    EXPECT_EQ(reader1.values()[i], readerN.values()[i]) << "vertex " << i;
+  }
+
+  // And the run actually recorded: the stages left spans behind.
+  EXPECT_FALSE(canopus::obs::TraceRecorder::global().events().empty());
+  canopus::obs::set_enabled(false);
 }
 
 TEST(ParallelDeterminism, ReadAheadKeepsSimulatedClock) {
