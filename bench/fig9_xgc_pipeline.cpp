@@ -24,6 +24,10 @@ int main(int argc, char** argv) {
   opt.fault_rate = cli.get_double("fault-rate", 0.0);
   opt.fault_seed = static_cast<std::uint64_t>(cli.get_int("fault-seed", 7));
   opt.threads = bench::threads_flag(cli);
+  // --cache-mb=N attaches a shared block cache per case; --sessions=K runs
+  // the next-level retrieval as K concurrent ReadSessions (mean per-session
+  // cost reported). See bench/concurrent_readers for the dedicated study.
+  bench::session_flags(cli, opt);
   // --trace-out=trace.json records spans + metrics and exports a Chrome trace.
   bench::observability_flags(cli);
 

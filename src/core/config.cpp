@@ -254,6 +254,27 @@ RuntimeConfig load_config(const std::string& xml_text) {
     config.retry = policy;
   }
 
+  if (const auto* cache_node = root->child("cache")) {
+    canopus::cache::CacheConfig cc;
+    if (cache_node->has_attr("budget")) {
+      cc.budget_bytes = parse_size(cache_node->attr("budget"));
+    }
+    if (cache_node->has_attr("budget-mb")) {
+      cc.budget_bytes = static_cast<std::size_t>(
+                            std::stoull(cache_node->attr("budget-mb")))
+                        << 20;
+    }
+    CANOPUS_CHECK(cc.budget_bytes > 0, "cache budget must be > 0");
+    if (cache_node->has_attr("shards")) {
+      cc.shards = static_cast<std::size_t>(std::stoul(cache_node->attr("shards")));
+      CANOPUS_CHECK(cc.shards >= 1, "cache shards must be >= 1");
+    }
+    if (cache_node->has_attr("verify-hits")) {
+      cc.verify_hits = parse_bool(cache_node->attr("verify-hits"));
+    }
+    config.cache = cc;
+  }
+
   if (const auto* observability = root->child("observability")) {
     obs::ObservabilityOptions oo;
     if (observability->has_attr("enabled")) {
@@ -295,6 +316,10 @@ storage::StorageHierarchy RuntimeConfig::make_hierarchy() const {
     hierarchy.attach_fault_injector(std::move(injector));
   }
   if (retry) hierarchy.set_retry_policy(*retry);
+  if (cache) {
+    hierarchy.attach_block_cache(
+        std::make_shared<canopus::cache::BlockCache>(*cache));
+  }
   return hierarchy;
 }
 

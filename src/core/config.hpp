@@ -24,6 +24,7 @@
 //             latency-spike="0.05" spike-duration="20ms"/>
 //     </faults>
 //     <retry max-attempts="4" backoff="1ms" multiplier="2"/>
+//     <cache budget="64MiB" shards="8"/>
 //     <observability enabled="true" trace="run-trace.json"
 //                    histogram-buckets="64"/>
 //   </canopus-config>
@@ -47,11 +48,17 @@
 // layer (src/obs): `enabled` flips the process-wide master switch, `trace`
 // names the Chrome-trace JSON sink, and `histogram-buckets` sets latency
 // histogram resolution (log2 buckets, clamped to [2, 64]).
+//
+// The optional <cache> element attaches a shared BlockCache to the hierarchy
+// (src/cache): `budget` is a size ("64MiB"; `budget-mb` accepts a bare
+// MiB count), `shards` the lock-shard count, and `verify-hits` re-checks
+// each hit's CRC-32.
 
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "cache/block_cache.hpp"
 #include "core/types.hpp"
 #include "obs/observability.hpp"
 #include "storage/fault.hpp"
@@ -76,6 +83,11 @@ struct RuntimeConfig {
   /// Metrics + tracing plan from the optional <observability> element;
   /// nullopt leaves the process-wide observability state untouched.
   std::optional<obs::ObservabilityOptions> observability;
+
+  /// Shared block cache from the optional <cache> element; nullopt runs
+  /// uncached. make_hierarchy() attaches it; Pipeline::from_config also
+  /// forwards it so a facade built from this config shares one cache.
+  std::optional<canopus::cache::CacheConfig> cache;
 
   /// Builds the configured hierarchy, with the fault injector attached and
   /// the retry policy applied when the document configured them.

@@ -82,24 +82,37 @@ Status status_from_read(core::RefineStatus refine,
 
 Pipeline::Pipeline(storage::StorageHierarchy& hierarchy, PipelineOptions options)
     : hierarchy_(&hierarchy), options_(std::move(options)) {
-  if (options_.observability.has_value()) obs::install(*options_.observability);
-  if (options_.retry.has_value()) hierarchy_->set_retry_policy(*options_.retry);
-  if (options_.faults) hierarchy_->attach_fault_injector(options_.faults);
+  apply_options();
 }
 
 Pipeline::Pipeline(storage::StorageHierarchy&& hierarchy, PipelineOptions options)
     : owned_(std::move(hierarchy)),
       hierarchy_(&*owned_),
       options_(std::move(options)) {
+  apply_options();
+}
+
+void Pipeline::apply_options() {
   if (options_.observability.has_value()) obs::install(*options_.observability);
   if (options_.retry.has_value()) hierarchy_->set_retry_policy(*options_.retry);
   if (options_.faults) hierarchy_->attach_fault_injector(options_.faults);
+  if (options_.cache.has_value() && hierarchy_->block_cache() == nullptr) {
+    hierarchy_->attach_block_cache(
+        std::make_shared<cache::BlockCache>(*options_.cache));
+  }
+  // One pool for all ReadSessions, so K sessions never oversubscribe the
+  // machine with K private pools. Plain read()/open() keep their per-reader
+  // pools (unchanged single-reader determinism contract).
+  if (options_.parallel.threads > 0) {
+    session_pool_.emplace(options_.parallel.threads);
+  }
 }
 
 Pipeline Pipeline::from_config(const core::RuntimeConfig& config) {
   PipelineOptions options;
   options.parallel = config.refactor.parallel;
   options.observability = config.observability;
+  options.cache = config.cache;
   // make_hierarchy() already attaches the configured fault injector and retry
   // policy; leaving options.retry/faults unset avoids re-applying them.
   return Pipeline(config.make_hierarchy(), std::move(options));
@@ -209,6 +222,59 @@ Status Pipeline::open(const ReadRequest& request,
     return Status::success();
   } catch (...) {
     return status_from_exception(/*not_found_on_error=*/true);
+  }
+}
+
+Status Pipeline::open_session(const ReadRequest& request,
+                              std::unique_ptr<ReadSession>* session) {
+  if (session == nullptr) {
+    return Status::failure(StatusCode::kInvalidArgument,
+                           "open_session: session must not be null");
+  }
+  if (request.path.empty() || request.var.empty()) {
+    return Status::failure(StatusCode::kInvalidArgument,
+                           "open_session: path and var are required");
+  }
+  try {
+    core::ReaderOptions reader_options;
+    reader_options.parallel = options_.parallel;
+    if (session_pool_.has_value()) {
+      reader_options.shared_pool = &*session_pool_;
+    }
+    auto reader = std::make_unique<core::ProgressiveReader>(
+        *hierarchy_, request.path, request.var, request.geometry,
+        reader_options);
+    session->reset(new ReadSession(std::move(reader)));
+    return Status::success();
+  } catch (...) {
+    return status_from_exception(/*not_found_on_error=*/true);
+  }
+}
+
+Status ReadSession::refine() {
+  try {
+    const core::RetrievalTimings step = reader_->refine();
+    return status_from_read(reader_->last_status(), step);
+  } catch (...) {
+    return status_from_exception(/*not_found_on_error=*/false);
+  }
+}
+
+Status ReadSession::refine_to(std::uint32_t level) {
+  try {
+    const core::RetrievalTimings acc = reader_->refine_to(level);
+    return status_from_read(reader_->last_status(), acc);
+  } catch (...) {
+    return status_from_exception(/*not_found_on_error=*/false);
+  }
+}
+
+Status ReadSession::refine_until(double rmse_threshold) {
+  try {
+    const core::RetrievalTimings acc = reader_->refine_until(rmse_threshold);
+    return status_from_read(reader_->last_status(), acc);
+  } catch (...) {
+    return status_from_exception(/*not_found_on_error=*/false);
   }
 }
 

@@ -33,6 +33,7 @@
 #include <optional>
 #include <string>
 
+#include "cache/block_cache.hpp"
 #include "core/config.hpp"
 #include "core/geometry_cache.hpp"
 #include "core/progressive_reader.hpp"
@@ -145,6 +146,53 @@ struct PipelineOptions {
   /// When set, attached to the hierarchy at construction (seeded fault
   /// injection for robustness testing).
   std::shared_ptr<storage::FaultInjector> faults;
+  /// When set, a shared BlockCache with this budget/sharding is attached to
+  /// the hierarchy at construction (unless one is already attached): tier
+  /// blobs and decoded chunk arrays are then shared across every reader and
+  /// ReadSession of this pipeline, with single-flight loading. Leave unset
+  /// for the uncached (per-reader) behavior.
+  std::optional<cache::CacheConfig> cache;
+};
+
+/// One concurrent progressive-read session, created by
+/// Pipeline::open_session(). Sessions wrap a ProgressiveReader behind the
+/// facade's Status-returning contract (refine() never throws) and — unlike
+/// Pipeline::open()'s raw readers — share the pipeline's session thread pool
+/// and its block cache, so K sessions refining the same variable trigger one
+/// tier fetch and one decode per chunk between them.
+///
+/// A session is single-threaded (one session per analytics client); many
+/// sessions may run concurrently against the same Pipeline.
+class ReadSession {
+ public:
+  ReadSession(const ReadSession&) = delete;
+  ReadSession& operator=(const ReadSession&) = delete;
+
+  /// One refinement step. Degradation (delta unreadable after retries +
+  /// replica fallback) comes back as a degraded Status, not an exception.
+  Status refine();
+  /// Refines until `level` (inclusive) or a step degrades.
+  Status refine_to(std::uint32_t level);
+  /// Refines until the inter-level RMS change drops below `rmse_threshold`,
+  /// full accuracy is reached, or a step degrades.
+  Status refine_until(double rmse_threshold);
+
+  const mesh::Field& values() const { return reader_->values(); }
+  const mesh::TriMesh& mesh() const { return reader_->current_mesh(); }
+  std::uint32_t level() const { return reader_->current_level(); }
+  bool at_full_accuracy() const { return reader_->at_full_accuracy(); }
+  std::size_t level_count() const { return reader_->level_count(); }
+  const core::RetrievalTimings& timings() const { return reader_->cumulative(); }
+
+  /// Escape hatch to the underlying reader (refine_region, last_status, ...).
+  core::ProgressiveReader& reader() { return *reader_; }
+
+ private:
+  friend class Pipeline;
+  explicit ReadSession(std::unique_ptr<core::ProgressiveReader> reader)
+      : reader_(std::move(reader)) {}
+
+  std::unique_ptr<core::ProgressiveReader> reader_;
 };
 
 class Pipeline {
@@ -184,16 +232,34 @@ class Pipeline {
   Status open(const ReadRequest& request,
               std::unique_ptr<core::ProgressiveReader>* reader);
 
+  /// Opens a concurrent read session at base accuracy. Sessions share the
+  /// pipeline's session thread pool (one pool for all sessions, sized by
+  /// PipelineOptions::parallel.threads) and the hierarchy's block cache when
+  /// one is configured, so N sessions over the same products cost ~one tier
+  /// fetch + one decode per block instead of N. request.target_level /
+  /// rmse_threshold / roi are ignored here; refine from the session instead.
+  Status open_session(const ReadRequest& request,
+                      std::unique_ptr<ReadSession>* session);
+
+  /// The cache attached to the hierarchy, or nullptr (for stats in benches).
+  cache::BlockCache* block_cache() const { return hierarchy_->block_cache(); }
+
   /// Writes the Chrome trace to the installed observability sink, if any;
   /// returns the path written ("" when no sink is configured).
   std::string flush_observability();
 
  private:
   Status run_read(const ReadRequest& request, ReadResult* result);
+  /// Shared ctor tail: observability, retry, faults, cache, session pool.
+  void apply_options();
 
   std::optional<storage::StorageHierarchy> owned_;
   storage::StorageHierarchy* hierarchy_;
   PipelineOptions options_;
+  /// One worker pool shared by every ReadSession (sized by
+  /// options_.parallel.threads; sessions fall back to the global pool when
+  /// no thread count is pinned).
+  std::optional<util::ThreadPool> session_pool_;
 };
 
 }  // namespace canopus

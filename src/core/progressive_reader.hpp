@@ -52,6 +52,10 @@ std::string to_string(RefineStatus status);
 /// read the following delta level ahead of time.
 struct ReaderOptions {
   ParallelConfig parallel;
+  /// Worker pool shared across concurrent read sessions (the Pipeline's
+  /// session pool). When set it overrides parallel.threads — the reader
+  /// spawns no pool of its own — and must outlive the reader.
+  util::ThreadPool* shared_pool = nullptr;
 };
 
 class ProgressiveReader {
@@ -187,8 +191,9 @@ class ProgressiveReader {
   mutable std::optional<std::size_t> full_vertex_count_;
   RetrievalTimings cumulative_;
 
-  // Worker pool: a dedicated one when options pin a thread count, the
-  // process-global pool otherwise.
+  // Worker pool: the session-shared one when given, a dedicated one when
+  // options pin a thread count, the process-global pool otherwise.
+  util::ThreadPool* shared_pool_ = nullptr;  // not owned; may be null
   mutable std::optional<util::ThreadPool> local_pool_;
   bool read_ahead_ = false;
   std::future<PrefetchedLevel> prefetch_;

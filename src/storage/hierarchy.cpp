@@ -137,6 +137,29 @@ bool StorageHierarchy::read_attempts(std::size_t tier, const std::string& key,
 }
 
 IoResult StorageHierarchy::read(const std::string& key, util::Bytes& out) const {
+  if (!cache_) return read_uncached(key, out);
+  // Cache-fronted path. Deliberately does NOT hold mu_ here: waiters block
+  // on the single-flight condition variable while the leader's loader takes
+  // mu_ inside read_uncached, so holding mu_ across the cache call would
+  // deadlock (and serialize all cached reads besides).
+  IoResult leader_io;
+  const auto result = cache_->get_or_load_blob(key, [&] {
+    util::Bytes bytes;
+    leader_io = read_uncached(key, bytes);
+    return bytes;
+  });
+  out.assign(result.blob->begin(), result.blob->end());
+  // The single-flight leader pays the true tier cost; hits and piggybacked
+  // waiters are served from memory at zero simulated cost.
+  if (result.source == cache::BlockCache::Source::kLoaded) return leader_io;
+  IoResult io;
+  io.bytes = out.size();
+  io.from_cache = true;
+  return io;
+}
+
+IoResult StorageHierarchy::read_uncached(const std::string& key,
+                                         util::Bytes& out) const {
   std::scoped_lock lock(mu_);
   const auto where = find(key);
   CANOPUS_CHECK(where.has_value(), "object '" + key + "' not in hierarchy");
@@ -188,6 +211,26 @@ void StorageHierarchy::erase(const std::string& key) {
     t->erase(rkey);
   }
   last_access_.erase(key);
+  if (cache_) {
+    // Lock order is hierarchy mutex -> cache shard mutex (never reversed:
+    // cache loaders run outside every cache lock). Invalidation also cancels
+    // any in-flight load of these keys, so a reader racing the erase cannot
+    // re-admit the stale bytes.
+    cache_->invalidate(key);
+    cache_->invalidate(rkey);
+    cache_->invalidate(decoded_alias(key));
+    cache_->invalidate(decoded_alias(rkey));
+  }
+}
+
+void StorageHierarchy::attach_block_cache(
+    std::shared_ptr<cache::BlockCache> cache) {
+  std::scoped_lock lock(mu_);
+  cache_ = std::move(cache);
+}
+
+std::string StorageHierarchy::decoded_alias(const std::string& key) {
+  return key + "#decoded";
 }
 
 void StorageHierarchy::attach_fault_injector(

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/block_cache.hpp"
 #include "storage/fault.hpp"
 #include "storage/tier.hpp"
 
@@ -56,6 +57,7 @@ class StorageHierarchy {
         policy_(o.policy_),
         faults_(std::move(o.faults_)),
         retry_(o.retry_),
+        cache_(std::move(o.cache_)),
         round_robin_next_(o.round_robin_next_),
         access_clock_(o.access_clock_),
         last_access_(std::move(o.last_access_)) {}
@@ -141,7 +143,30 @@ class StorageHierarchy {
   void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
   const RetryPolicy& retry_policy() const { return retry_; }
 
+  // --- Shared block cache (elastic read scaling). --------------------------
+
+  /// Fronts read() with a shared BlockCache: hits are served from memory at
+  /// zero simulated cost (IoResult::from_cache), misses are single-flight so
+  /// N concurrent readers of the same object trigger one tier fetch. The
+  /// cache is shared so many hierarchies/readers can pool one byte budget.
+  /// Pass nullptr to detach. Cached bytes were frame-verified by the tier on
+  /// the way in; erase() invalidates the object's cache entries (including
+  /// its replica and decoded aliases), so stale data is never served.
+  void attach_block_cache(std::shared_ptr<cache::BlockCache> cache);
+  cache::BlockCache* block_cache() const { return cache_.get(); }
+
+  /// Cache key under which readers store the *decoded* (decompressed) form
+  /// of the object named `key`. Kept here so erase() can invalidate decoded
+  /// entries without knowing who decoded them.
+  static std::string decoded_alias(const std::string& key);
+
  private:
+  /// The pre-cache read path: placement lookup, retry loop, replica
+  /// fallback. read() delegates here on a cache miss (or when no cache is
+  /// attached).
+  IoResult read_uncached(const std::string& key, util::Bytes& out) const;
+
+
   void touch(const std::string& key) const;
   /// One bounded attempt loop against the copy of `key` on `tier`; folds
   /// failed-attempt costs and counters into `acc`. Returns success; stores the
@@ -162,6 +187,7 @@ class StorageHierarchy {
   PlacementPolicy policy_;
   std::shared_ptr<FaultInjector> faults_;
   RetryPolicy retry_;
+  std::shared_ptr<cache::BlockCache> cache_;
   mutable std::size_t round_robin_next_ = 0;
   // LRU bookkeeping: monotone clock, last-access stamp per key.
   mutable std::uint64_t access_clock_ = 0;

@@ -46,6 +46,7 @@ struct IoResult {
   std::uint32_t retries = 0;      // failed attempts that were retried
   std::uint32_t corruptions = 0;  // CRC failures among those attempts
   bool from_replica = false;      // satisfied by a cross-tier replica copy
+  bool from_cache = false;        // satisfied by the shared block cache
 };
 
 class StorageTier {

@@ -1,0 +1,325 @@
+// Property and stress suite for the shared block cache (src/cache).
+//
+// The invariants the randomized sweeps enforce are the ones the concurrent
+// read path leans on:
+//   - occupancy never exceeds the byte budget, under any op interleaving
+//   - a hit returns bytes bitwise-equal to what the loader produced
+//   - no entry is ever served after its invalidation
+//   - single-flight: N concurrent readers of a key run its loader once
+//   - a throwing loader admits nothing (corruption cannot poison the cache)
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstddef>
+#include <cstring>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cache/block_cache.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace cc = canopus::cache;
+namespace cu = canopus::util;
+
+namespace {
+
+/// Deterministic payload for a key: content is a pure function of (key,
+/// salt), so any two loads of the same key produce bitwise-equal bytes and a
+/// served value can be checked against regeneration.
+cu::Bytes payload_for(const std::string& key, std::uint64_t salt,
+                      std::size_t size) {
+  cu::Rng rng(std::hash<std::string>{}(key) ^ salt);
+  cu::Bytes bytes(size);
+  for (auto& b : bytes) b = static_cast<std::byte>(rng.uniform_index(256));
+  return bytes;
+}
+
+std::string key_name(std::size_t i) { return "obj/" + std::to_string(i); }
+
+}  // namespace
+
+// Randomized get/invalidate/clear interleavings across seeds. A shadow model
+// tracks which keys were invalidated since their last load; the cache must
+// never serve a value admitted before that invalidation.
+TEST(CacheProperty, RandomizedWorkloadInvariants) {
+  const std::uint64_t base = canopus::test::test_seed();
+  std::uint64_t total_evictions = 0;  // across rounds; a clear()-heavy round
+                                      // can legitimately never evict
+  for (std::uint64_t round = 0; round < 20; ++round) {
+    const std::uint64_t seed = base + round;
+    cu::Rng rng(seed * 131 + 7);
+
+    cc::CacheConfig config;
+    config.budget_bytes = 16 << 10;  // tiny: forces constant eviction
+    config.shards = 1 + rng.uniform_index(4);
+    config.verify_hits = true;  // re-CRC every hit while we are at it
+    cc::BlockCache cache(config);
+
+    const std::size_t keys = 24;
+    // Generation counter per key: bumped on invalidate, salted into the
+    // payload, so serving a stale (pre-invalidation) entry is detectable as
+    // a byte mismatch.
+    std::map<std::string, std::uint64_t> generation;
+
+    for (std::size_t op = 0; op < 400; ++op) {
+      const std::string key = key_name(rng.uniform_index(keys));
+      const std::size_t roll = rng.uniform_index(100);
+      if (roll < 70) {
+        const std::uint64_t gen = generation[key];
+        const std::size_t size = 64 + rng.uniform_index(2048);
+        const auto result = cache.get_or_load_blob(
+            key, [&] { return payload_for(key, gen, size); });
+        ASSERT_NE(result.blob, nullptr);
+        if (result.source == cc::BlockCache::Source::kLoaded) {
+          EXPECT_EQ(*result.blob, payload_for(key, gen, size))
+              << "seed " << seed << " op " << op;
+        } else {
+          // A hit may be any size from an earlier load of this generation,
+          // but its content must regenerate bitwise from (key, gen).
+          EXPECT_EQ(*result.blob,
+                    payload_for(key, gen, result.blob->size()))
+              << "stale or corrupt hit, seed " << seed << " op " << op;
+        }
+      } else if (roll < 90) {
+        cache.invalidate(key);
+        ++generation[key];
+        EXPECT_FALSE(cache.contains(key))
+            << "served after invalidate, seed " << seed << " op " << op;
+        EXPECT_EQ(cache.lookup_blob(key), nullptr) << "seed " << seed;
+      } else if (roll < 95) {
+        cache.clear();
+        for (auto& [k, gen] : generation) ++gen;
+        EXPECT_EQ(cache.occupancy_bytes(), 0u) << "seed " << seed;
+      } else {
+        cache.lookup_blob(key);  // stat-only probe
+      }
+      ASSERT_LE(cache.occupancy_bytes(), config.budget_bytes)
+          << "budget exceeded, seed " << seed << " op " << op;
+    }
+
+    const auto stats = cache.stats();
+    EXPECT_GT(stats.misses, 0u) << "seed " << seed;
+    total_evictions += stats.evictions;
+  }
+  EXPECT_GT(total_evictions, 0u)
+      << "budget too generous for the whole sweep, base seed " << base;
+}
+
+// The strong single-flight guarantee: with no eviction pressure and no
+// invalidation, T threads x R rounds over K keys run each key's loader
+// exactly once — every other call is a hit or piggybacks on the in-flight
+// load. Run under TSan (label `cache`) this doubles as the data-race stress.
+TEST(CacheStress, SingleFlightLoadsEachKeyExactlyOnce) {
+  const std::uint64_t base = canopus::test::test_seed();
+  cc::CacheConfig config;
+  config.budget_bytes = 64 << 20;  // never evicts in this test
+  config.shards = 4;
+  cc::BlockCache cache(config);
+
+  const std::size_t kThreads = 16;
+  const std::size_t kKeys = 8;
+  const std::size_t kRounds = 50;
+  std::atomic<std::uint64_t> loader_runs{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      cu::Rng rng(base * 31 + t);
+      for (std::size_t r = 0; r < kRounds; ++r) {
+        const std::string key = key_name(rng.uniform_index(kKeys));
+        const auto result = cache.get_or_load_blob(key, [&] {
+          loader_runs.fetch_add(1);
+          return payload_for(key, base, 512);
+        });
+        ASSERT_NE(result.blob, nullptr);
+        EXPECT_EQ(*result.blob, payload_for(key, base, 512));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(loader_runs.load(), kKeys);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, kKeys);
+  EXPECT_EQ(stats.hits + stats.single_flight_waits,
+            kThreads * kRounds - kKeys);
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+// Concurrent get/invalidate churn under TSan: correctness here is "no data
+// race, budget respected, and every served value regenerates from some
+// generation the key actually had" (invalidation makes exact generations
+// racy by design).
+TEST(CacheStress, ConcurrentInvalidateChurn) {
+  const std::uint64_t base = canopus::test::test_seed();
+  cc::CacheConfig config;
+  config.budget_bytes = 32 << 10;
+  config.shards = 2;
+  cc::BlockCache cache(config);
+
+  const std::size_t kThreads = 8;
+  const std::size_t kKeys = 6;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      cu::Rng rng(base * 77 + t);
+      for (std::size_t r = 0; r < 120; ++r) {
+        const std::string key = key_name(rng.uniform_index(kKeys));
+        if (rng.uniform_index(5) == 0) {
+          cache.invalidate(key);
+        } else {
+          const auto result = cache.get_or_load_blob(
+              key, [&] { return payload_for(key, base, 256); });
+          ASSERT_NE(result.blob, nullptr);
+          EXPECT_EQ(*result.blob, payload_for(key, base, 256));
+        }
+        EXPECT_LE(cache.occupancy_bytes(), config.budget_bytes);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+}
+
+// A throwing loader must admit nothing — and every concurrent waiter of that
+// flight sees the exception. The next attempt with a healthy loader succeeds
+// and is cached normally.
+TEST(CacheFaultPaths, ThrowingLoaderAdmitsNothingAndPropagates) {
+  cc::BlockCache cache({.budget_bytes = 1 << 20, .shards = 1});
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      try {
+        cache.get_or_load_blob("bad", []() -> cu::Bytes {
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+          throw std::runtime_error("tier read failed");
+        });
+      } catch (const std::runtime_error&) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(failures.load(), 8);
+  EXPECT_FALSE(cache.contains("bad"));
+  EXPECT_EQ(cache.occupancy_bytes(), 0u);
+
+  const auto good = cache.get_or_load_blob(
+      "bad", [] { return payload_for("bad", 1, 128); });
+  EXPECT_EQ(good.source, cc::BlockCache::Source::kLoaded);
+  EXPECT_TRUE(cache.contains("bad"));
+}
+
+// invalidate() racing an in-flight load: the waiters still receive the value
+// they asked for, but the cache must forget it (the cancelled flight is not
+// admitted).
+TEST(CacheFaultPaths, InvalidateCancelsInFlightAdmission) {
+  cc::BlockCache cache({.budget_bytes = 1 << 20, .shards = 1});
+  std::atomic<bool> loader_entered{false};
+  std::atomic<bool> invalidated{false};
+
+  std::thread leader([&] {
+    const auto result = cache.get_or_load_blob("racy", [&] {
+      loader_entered.store(true);
+      while (!invalidated.load()) std::this_thread::yield();
+      return payload_for("racy", 0, 64);
+    });
+    EXPECT_EQ(*result.blob, payload_for("racy", 0, 64));
+  });
+
+  while (!loader_entered.load()) std::this_thread::yield();
+  cache.invalidate("racy");
+  invalidated.store(true);
+  leader.join();
+
+  EXPECT_FALSE(cache.contains("racy"));
+  EXPECT_EQ(cache.occupancy_bytes(), 0u);
+}
+
+// LRU order with a single shard: touching an entry protects it from the next
+// eviction; the least-recently-used entry goes first, and the occupancy
+// gauge follows the drops exactly.
+TEST(CacheEviction, LruVictimSelection) {
+  cc::CacheConfig config;
+  config.budget_bytes = 3 * 1024;  // room for three 1 KiB entries
+  config.shards = 1;
+  cc::BlockCache cache(config);
+
+  auto load = [&](const std::string& key) {
+    cache.get_or_load_blob(key, [&] { return payload_for(key, 0, 1024); });
+  };
+  load("a");
+  load("b");
+  load("c");
+  EXPECT_EQ(cache.occupancy_bytes(), 3u * 1024);
+
+  // Touch "a" so "b" is now the LRU tail; the fourth entry must evict "b".
+  EXPECT_NE(cache.lookup_blob("a"), nullptr);
+  load("d");
+  EXPECT_TRUE(cache.contains("a"));
+  EXPECT_FALSE(cache.contains("b"));
+  EXPECT_TRUE(cache.contains("c"));
+  EXPECT_TRUE(cache.contains("d"));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_LE(cache.occupancy_bytes(), config.budget_bytes);
+}
+
+// Entries larger than a shard's slice of the budget are served but never
+// admitted: one huge object must not wipe the whole working set.
+TEST(CacheEviction, OversizedEntriesAreServedButRejected) {
+  cc::CacheConfig config;
+  config.budget_bytes = 8 << 10;
+  config.shards = 4;  // slice = 2 KiB
+  cc::BlockCache cache(config);
+
+  const auto result = cache.get_or_load_blob(
+      "huge", [] { return payload_for("huge", 0, 4096); });
+  ASSERT_NE(result.blob, nullptr);
+  EXPECT_EQ(result.blob->size(), 4096u);
+  EXPECT_FALSE(cache.contains("huge"));
+  EXPECT_EQ(cache.stats().rejected, 1u);
+  EXPECT_EQ(cache.occupancy_bytes(), 0u);
+}
+
+// The decoded-array level: bitwise round trip, byte-accurate charging, and
+// independence from a blob entry of a different key.
+TEST(CacheArrays, DecodedArraysRoundTripAndCharge) {
+  cc::BlockCache cache({.budget_bytes = 1 << 20, .shards = 2});
+
+  std::vector<double> values(257);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = std::sin(static_cast<double>(i) * 0.37) * 1e6;
+  }
+
+  const auto loaded =
+      cache.get_or_load_array("chunk#decoded", [&] { return values; });
+  EXPECT_EQ(loaded.source, cc::BlockCache::Source::kLoaded);
+  EXPECT_EQ(cache.occupancy_bytes(), values.size() * sizeof(double));
+
+  const auto hit =
+      cache.get_or_load_array("chunk#decoded", [&]() -> std::vector<double> {
+        ADD_FAILURE() << "loader must not run on a hit";
+        return {};
+      });
+  EXPECT_EQ(hit.source, cc::BlockCache::Source::kHit);
+  ASSERT_EQ(hit.array->size(), values.size());
+  EXPECT_EQ(std::memcmp(hit.array->data(), values.data(),
+                        values.size() * sizeof(double)),
+            0);
+
+  // prefix invalidation drops the decoded alias along with everything else
+  // under the container prefix.
+  EXPECT_EQ(cache.invalidate_prefix("chunk"), 1u);
+  EXPECT_FALSE(cache.contains("chunk#decoded"));
+}

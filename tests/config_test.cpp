@@ -142,6 +142,56 @@ TEST(Config, ParallelKnobsDefaultToConcurrent) {
   EXPECT_TRUE(config.refactor.parallel.read_ahead);
 }
 
+TEST(Config, ParsesCacheBlock) {
+  const auto config = cc::load_config(R"(<canopus-config>
+    <storage><tier preset="tmpfs" capacity="4MiB"/></storage>
+    <cache budget="8MiB" shards="2" verify-hits="true"/>
+  </canopus-config>)");
+  ASSERT_TRUE(config.cache.has_value());
+  EXPECT_EQ(config.cache->budget_bytes, 8u << 20);
+  EXPECT_EQ(config.cache->shards, 2u);
+  EXPECT_TRUE(config.cache->verify_hits);
+  auto hierarchy = config.make_hierarchy();
+  ASSERT_NE(hierarchy.block_cache(), nullptr);
+  EXPECT_EQ(hierarchy.block_cache()->budget_bytes(), 8u << 20);
+}
+
+TEST(Config, CacheDefaultsOffAndAcceptsBudgetMb) {
+  // No <cache> element: uncached hierarchy, optional stays empty.
+  EXPECT_FALSE(cc::load_config(kSample).cache.has_value());
+  EXPECT_EQ(cc::load_config(kSample).make_hierarchy().block_cache(), nullptr);
+  const auto config = cc::load_config(R"(<canopus-config>
+    <storage><tier preset="tmpfs" capacity="4MiB"/></storage>
+    <cache budget-mb="16"/>
+  </canopus-config>)");
+  ASSERT_TRUE(config.cache.has_value());
+  EXPECT_EQ(config.cache->budget_bytes, 16u << 20);
+  EXPECT_FALSE(config.cache->verify_hits);
+}
+
+TEST(Config, InvalidCacheBlockThrows) {
+  // Zero shards.
+  EXPECT_THROW(cc::load_config(R"(<canopus-config>
+    <storage><tier preset="tmpfs" capacity="4MiB"/></storage>
+    <cache budget="1MiB" shards="0"/>
+  </canopus-config>)"),
+               canopus::Error);
+  // Explicit zero budget.
+  EXPECT_THROW(cc::load_config(R"(<canopus-config>
+    <storage><tier preset="tmpfs" capacity="4MiB"/></storage>
+    <cache budget="0"/>
+  </canopus-config>)"),
+               canopus::Error);
+  // Bare <cache/> keeps the CacheConfig defaults (64 MiB) rather than throw.
+  const auto bare = cc::load_config(R"(<canopus-config>
+    <storage><tier preset="tmpfs" capacity="4MiB"/></storage>
+    <cache/>
+  </canopus-config>)");
+  ASSERT_TRUE(bare.cache.has_value());
+  EXPECT_EQ(bare.cache->budget_bytes,
+            canopus::cache::CacheConfig{}.budget_bytes);
+}
+
 TEST(Config, EmptyThreadsElementThrows) {
   EXPECT_THROW(cc::load_config(R"(<canopus-config>
     <storage><tier preset="tmpfs" capacity="4MiB"/></storage>

@@ -535,3 +535,128 @@ TEST(FaultConfig, OutOfRangeProbabilityRejected) {
     </canopus-config>)";
   EXPECT_THROW(cc::load_config(xml), canopus::Error);
 }
+
+// ------------------------------------------------------ cache fault paths --
+
+// The cache must only ever hold bytes that passed the tier boundary's frame
+// verification: injected read errors and bit flips admit nothing, so a
+// corrupt blob can never poison later readers through the cache.
+TEST(CacheFaults, InjectedReadErrorsAreNeverCached) {
+  const auto ds = tiny_xgc();
+  cs::StorageHierarchy tiers(
+      {cs::tmpfs_spec(8 << 20), cs::lustre_spec(1 << 30)});
+  canopus::cache::CacheConfig cache_config;
+  cache_config.budget_bytes = 32ull << 20;
+  cache_config.verify_hits = true;  // re-CRC every hit while faults fly
+  auto cache = std::make_shared<canopus::cache::BlockCache>(cache_config);
+  tiers.attach_block_cache(cache);
+
+  cc::RefactorConfig config;
+  config.levels = 3;
+  config.codec = "zfp";
+  config.error_bound = 1e-5;
+  cc::refactor_and_write(tiers, "cf.bp", ds.variable, ds.mesh, ds.values,
+                         config);
+
+  cc::ProgressiveReader reader(tiers, "cf.bp", ds.variable);
+  const std::size_t occupancy_after_open = cache->occupancy_bytes();
+
+  // Kill the slow tier holding every delta: the refine degrades, and the
+  // failed fetch must leave the cache exactly as it was.
+  auto inj = std::make_shared<cs::FaultInjector>(2);
+  cs::FaultProfile p;
+  p.read_error = 1.0;
+  inj->set_profile(1, p);
+  tiers.attach_fault_injector(inj);
+
+  reader.refine();  // must not throw
+  EXPECT_EQ(reader.last_status(), cc::RefineStatus::kDegraded);
+  EXPECT_EQ(cache->occupancy_bytes(), occupancy_after_open);
+  canopus::adios::BpReader meta(tiers, "cf.bp");
+  for (const auto& b : meta.inq_var(ds.variable).blocks) {
+    if (b.kind != canopus::adios::BlockKind::kDelta) continue;
+    EXPECT_FALSE(cache->contains(b.object_key))
+        << "failed read cached: " << b.object_key;
+    EXPECT_FALSE(
+        cache->contains(cs::StorageHierarchy::decoded_alias(b.object_key)))
+        << "decoded form of a failed read cached: " << b.object_key;
+  }
+
+  // Tier recovers: the degraded reader finishes within the accuracy bound,
+  // and only now do the (verified) delta blobs enter the cache.
+  tiers.attach_fault_injector(nullptr);
+  reader.refine_to(0);
+  EXPECT_EQ(reader.last_status(), cc::RefineStatus::kOk);
+  EXPECT_TRUE(reader.at_full_accuracy());
+  EXPECT_LE(cu::max_abs_error(ds.values, reader.values()),
+            3.0 * config.error_bound);
+  EXPECT_GT(cache->occupancy_bytes(), occupancy_after_open);
+}
+
+// Bit flips: a corrupting tier admits nothing (every read fails its frame
+// CRC), and once the cache holds clean verified bytes, later readers are
+// served correct data even while the tier is still flipping bits.
+TEST(CacheFaults, CorruptBlobsNeverPoisonLaterReaders) {
+  const auto ds = tiny_xgc();
+  cs::StorageHierarchy tiers(
+      {cs::tmpfs_spec(8 << 20), cs::lustre_spec(1 << 30)});
+  canopus::cache::CacheConfig cache_config;
+  cache_config.budget_bytes = 32ull << 20;
+  cache_config.verify_hits = true;
+  auto cache = std::make_shared<canopus::cache::BlockCache>(cache_config);
+  tiers.attach_block_cache(cache);
+
+  cc::RefactorConfig config;
+  config.levels = 3;
+  config.codec = "zfp";
+  config.error_bound = 1e-5;
+  cc::refactor_and_write(tiers, "cp.bp", ds.variable, ds.mesh, ds.values,
+                         config);
+
+  // Phase 1: every slow-tier read returns flipped bits. The reader degrades
+  // (IntegrityError after retries), and the corrupt bytes stay out of the
+  // cache.
+  cc::ProgressiveReader first(tiers, "cp.bp", ds.variable);
+  const std::size_t occupancy_clean = cache->occupancy_bytes();
+  auto corruptor = std::make_shared<cs::FaultInjector>(7);
+  cs::FaultProfile flip;
+  flip.corrupt = 1.0;
+  corruptor->set_profile(1, flip);
+  tiers.attach_fault_injector(corruptor);
+
+  first.refine();
+  EXPECT_EQ(first.last_status(), cc::RefineStatus::kDegraded);
+  EXPECT_GT(corruptor->counters().corruptions, 0u);
+  EXPECT_EQ(cache->occupancy_bytes(), occupancy_clean);
+
+  // Phase 2: tier heals; the same reader completes and fills the cache with
+  // verified bytes.
+  tiers.attach_fault_injector(nullptr);
+  first.refine_to(0);
+  ASSERT_TRUE(first.at_full_accuracy());
+  ASSERT_LE(cu::max_abs_error(ds.values, first.values()),
+            3.0 * config.error_bound);
+
+  // Phase 3: bits flip again — on EVERY tier. A fresh reader must still
+  // reach full accuracy entirely from the cache, detecting zero corruption
+  // because it never touches the tiers for data it can get from the cache.
+  auto corrupt_all = std::make_shared<cs::FaultInjector>(9);
+  corruptor = nullptr;
+  cs::FaultProfile flip_all;
+  flip_all.corrupt = 1.0;
+  corrupt_all->set_profile(0, flip_all);
+  corrupt_all->set_profile(1, flip_all);
+  tiers.attach_fault_injector(corrupt_all);
+
+  cc::ProgressiveReader second(tiers, "cp.bp", ds.variable);
+  second.refine_to(0);
+  EXPECT_EQ(second.last_status(), cc::RefineStatus::kOk);
+  EXPECT_TRUE(second.at_full_accuracy());
+  EXPECT_EQ(second.cumulative().corruptions_detected, 0u);
+  EXPECT_EQ(corrupt_all->counters().corruptions, 0u)
+      << "a cached read still reached the corrupting tiers";
+  EXPECT_LE(cu::max_abs_error(ds.values, second.values()),
+            3.0 * config.error_bound);
+  // And the cached-read accounting says so: zero simulated I/O for deltas.
+  EXPECT_GT(cache->stats().hits, 0u);
+}

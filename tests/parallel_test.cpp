@@ -376,3 +376,77 @@ TEST(ParallelDeterminism, GeometryCachePathMatchesOnDemandPath) {
     EXPECT_EQ(plain.values()[i], cached.values()[i]) << "vertex " << i;
   }
 }
+
+// ------------------------------------------- concurrent read sessions --
+
+// K concurrent sessions x N shared pool threads, with the block cache off
+// and then on, all restore the exact bytes of the serial uncached reader.
+// This extends the 1-vs-N contract to many clients: the cache and its
+// single-flight sharing may change who fetches and decodes, never what any
+// session sees.
+TEST(ParallelDeterminism, ConcurrentSessionsBitwiseIdenticalCacheOnOff) {
+  const auto mesh = cm::make_annulus_mesh(16, 100, 0.5, 1.0, 0.1, 7);
+  auto tiers = three_tiers();
+  cc::refactor_and_write(tiers, "d.bp", "v", mesh, smooth_field(mesh),
+                         parallel_config(4));
+
+  cc::ReaderOptions serial;
+  serial.parallel.threads = 1;
+  serial.parallel.read_ahead = false;
+  cc::ProgressiveReader reference(tiers, "d.bp", "v", nullptr, serial);
+  reference.refine_to(0);
+
+  // Cache-off first: attaching the cache (second pass) is sticky on `tiers`.
+  for (const bool cached : {false, true}) {
+    canopus::PipelineOptions options;
+    options.parallel.threads = 4;
+    if (cached) {
+      canopus::cache::CacheConfig cache_config;
+      cache_config.budget_bytes = 32ull << 20;
+      cache_config.shards = 4;
+      options.cache = cache_config;
+    }
+    canopus::Pipeline pipeline(tiers, options);
+
+    const std::size_t kSessions = 6;
+    std::vector<cm::Field> fields(kSessions);
+    std::vector<canopus::Status> statuses(kSessions);
+    std::vector<std::thread> clients;
+    clients.reserve(kSessions);
+    for (std::size_t s = 0; s < kSessions; ++s) {
+      clients.emplace_back([&, s] {
+        canopus::ReadRequest request;
+        request.path = "d.bp";
+        request.var = "v";
+        std::unique_ptr<canopus::ReadSession> session;
+        canopus::Status status = pipeline.open_session(request, &session);
+        if (status.ok()) status = session->refine_to(0);
+        statuses[s] = status;
+        if (session) fields[s] = session->values();
+      });
+    }
+    for (auto& c : clients) c.join();
+
+    for (std::size_t s = 0; s < kSessions; ++s) {
+      ASSERT_TRUE(statuses[s].ok())
+          << "session " << s << " (cache " << (cached ? "on" : "off")
+          << "): " << statuses[s].to_string();
+      ASSERT_EQ(fields[s].size(), reference.values().size());
+      for (std::size_t i = 0; i < fields[s].size(); ++i) {
+        ASSERT_EQ(fields[s][i], reference.values()[i])
+            << "session " << s << " vertex " << i << " cache "
+            << (cached ? "on" : "off");
+      }
+    }
+
+    if (cached) {
+      // Sharing must actually have happened: the sessions together fetched
+      // each block far fewer times than 6 sessions x blocks.
+      ASSERT_NE(pipeline.block_cache(), nullptr);
+      const auto stats = pipeline.block_cache()->stats();
+      EXPECT_GT(stats.hits + stats.single_flight_waits, 0u);
+    } else {
+      EXPECT_EQ(pipeline.block_cache(), nullptr);
+    }
+  }
+}

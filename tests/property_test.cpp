@@ -17,6 +17,7 @@
 #include "mesh/validate.hpp"
 #include "storage/blob_frame.hpp"
 #include "storage/hierarchy.hpp"
+#include "test_support.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
@@ -234,7 +235,9 @@ INSTANTIATE_TEST_SUITE_P(
 // the stored bytes, a read either fails verification or returns exactly the
 // payload that was written — it never silently yields different data.
 TEST(FrameIntegritySweep, CorruptedFramesNeverYieldWrongBytes) {
-  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+  const std::uint64_t base = canopus::test::test_seed();
+  for (std::uint64_t round = 0; round < 100; ++round) {
+    const std::uint64_t seed = base + round;
     cu::Rng rng(seed * 977 + 1);
     cu::Bytes payload(1 + rng.uniform_index(2048));
     for (auto& b : payload) b = static_cast<std::byte>(rng.uniform_index(256));
@@ -252,7 +255,9 @@ TEST(FrameIntegritySweep, CorruptedFramesNeverYieldWrongBytes) {
       const auto out = canopus::storage::unframe_blob(corrupted);
       // Corruption slipped past the CRC (possible in principle for multi-bit
       // patterns): the payload must still be byte-identical to count as ok.
-      EXPECT_EQ(out, payload) << "seed " << seed;
+      EXPECT_EQ(out, payload)
+          << "replay with CANOPUS_TEST_SEED=" << seed << " (base " << base
+          << ")";
     } catch (const canopus::storage::IntegrityError&) {
       // Detected — the expected outcome.
     }

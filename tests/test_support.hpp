@@ -1,0 +1,29 @@
+#pragma once
+// Shared helpers for the randomized test suites.
+//
+// CANOPUS_TEST_SEED makes CI failures reproducible: every randomized sweep
+// derives its per-case RNG seeds from this base (default 0, the historical
+// value, so unset keeps the exact seeds the suites always ran). A red run
+// prints the offending seed; replay it locally with
+//
+//   CANOPUS_TEST_SEED=<base> ctest --test-dir build -R <suite>
+//
+// ctest inherits the variable from the calling environment, so exporting it
+// before `ctest` (as CI does) reaches every test process.
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace canopus::test {
+
+/// Base seed for randomized sweeps: $CANOPUS_TEST_SEED, or 0 when unset.
+inline std::uint64_t test_seed() {
+  static const std::uint64_t seed = [] {
+    const char* env = std::getenv("CANOPUS_TEST_SEED");
+    return env != nullptr ? std::strtoull(env, nullptr, 10)
+                          : std::uint64_t{0};
+  }();
+  return seed;
+}
+
+}  // namespace canopus::test
