@@ -272,6 +272,11 @@ bool BlockCache::contains(const std::string& key) const {
   return shard.map.find(key) != shard.map.end();
 }
 
+BlockCache::Residency BlockCache::probe(const std::string& key,
+                                        const std::string& decoded_alias) const {
+  return Residency{contains(key), contains(decoded_alias)};
+}
+
 void BlockCache::invalidate(const std::string& key) {
   Shard& shard = shard_for(key);
   std::scoped_lock lock(shard.mu);

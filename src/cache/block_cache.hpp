@@ -119,6 +119,17 @@ class BlockCache {
   /// True when `key` is resident (no stat side effects, no LRU touch).
   bool contains(const std::string& key) const;
 
+  /// Planning probe for the serve-layer cost model: residency of a tier blob
+  /// and its decoded alias (StorageHierarchy::decoded_alias(key)) in one
+  /// call. Like contains(), stat- and LRU-neutral — estimating a query's
+  /// cost must not perturb eviction order or hit rates.
+  struct Residency {
+    bool blob = false;     // framed tier bytes resident (I/O is free)
+    bool decoded = false;  // decoded double array resident (decode is free)
+  };
+  Residency probe(const std::string& key,
+                  const std::string& decoded_alias) const;
+
   /// Drops `key` immediately and cancels admission of any in-flight load of
   /// it. After this returns no caller can be served the pre-invalidation
   /// value from the cache.

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <memory>
 #include <sstream>
 
@@ -61,6 +64,47 @@ bool parse_bool(const std::string& text) {
   if (text == "true" || text == "1" || text == "yes") return true;
   if (text == "false" || text == "0" || text == "no") return false;
   throw Error("not a boolean: " + text);
+}
+
+/// Contextual numeric parsing for XML attributes. Bare std::stoul/stod would
+/// let malformed values escape as raw std::invalid_argument/out_of_range
+/// with no hint of which element was wrong; these helpers throw
+/// canopus::Error naming the offending element/attribute (`what`, e.g.
+/// "<refactor> attribute 'levels'") and reject negative and overflowing
+/// values outright.
+std::string trimmed(const std::string& text) {
+  auto begin = text.begin(), end = text.end();
+  while (begin != end && std::isspace(static_cast<unsigned char>(*begin))) ++begin;
+  while (end != begin && std::isspace(static_cast<unsigned char>(*(end - 1)))) --end;
+  return std::string(begin, end);
+}
+
+std::uint64_t parse_uint(const std::string& text, const std::string& what) {
+  const std::string t = trimmed(text);
+  CANOPUS_CHECK(!t.empty(), what + " must not be empty");
+  CANOPUS_CHECK(t[0] != '-', what + " must be non-negative: '" + text + "'");
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(t.c_str(), &end, 10);
+  CANOPUS_CHECK(end != t.c_str() && *end == '\0',
+                what + " is not an integer: '" + text + "'");
+  CANOPUS_CHECK(errno != ERANGE &&
+                    v <= std::numeric_limits<std::uint64_t>::max(),
+                what + " overflows: '" + text + "'");
+  return static_cast<std::uint64_t>(v);
+}
+
+double parse_double(const std::string& text, const std::string& what) {
+  const std::string t = trimmed(text);
+  CANOPUS_CHECK(!t.empty(), what + " must not be empty");
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(t.c_str(), &end);
+  CANOPUS_CHECK(end != t.c_str() && *end == '\0',
+                what + " is not a number: '" + text + "'");
+  CANOPUS_CHECK(errno != ERANGE && std::isfinite(v),
+                what + " overflows or is not finite: '" + text + "'");
+  return v;
 }
 
 double parse_probability(const std::string& text, const std::string& what) {
@@ -158,16 +202,20 @@ RuntimeConfig load_config(const std::string& xml_text) {
   if (const auto* refactor = root->child("refactor")) {
     auto& rc = config.refactor;
     if (refactor->has_attr("levels")) {
-      rc.levels = static_cast<std::size_t>(std::stoul(refactor->attr("levels")));
+      rc.levels = static_cast<std::size_t>(parse_uint(
+          refactor->attr("levels"), "<refactor> attribute 'levels'"));
       CANOPUS_CHECK(rc.levels >= 1, "levels must be >= 1");
     }
     if (refactor->has_attr("step")) {
-      rc.step = std::stod(refactor->attr("step"));
+      rc.step = parse_double(refactor->attr("step"), "<refactor> attribute 'step'");
       CANOPUS_CHECK(rc.step >= 1.0, "step must be >= 1");
     }
     if (refactor->has_attr("codec")) rc.codec = refactor->attr("codec");
     if (refactor->has_attr("error-bound")) {
-      rc.error_bound = std::stod(refactor->attr("error-bound"));
+      rc.error_bound = parse_double(refactor->attr("error-bound"),
+                                    "<refactor> attribute 'error-bound'");
+      CANOPUS_CHECK(rc.error_bound >= 0.0,
+                    "<refactor> attribute 'error-bound' must be >= 0");
     }
     if (refactor->has_attr("estimate")) {
       rc.estimate = estimate_mode_from_string(refactor->attr("estimate"));
@@ -188,7 +236,7 @@ RuntimeConfig load_config(const std::string& xml_text) {
                text.end());
     CANOPUS_CHECK(!text.empty(), "<threads> needs a worker count");
     config.refactor.parallel.threads =
-        static_cast<std::size_t>(std::stoul(text));
+        static_cast<std::size_t>(parse_uint(text, "<threads> worker count"));
   }
 
   if (const auto* pipeline = root->child("pipeline")) {
@@ -203,7 +251,8 @@ RuntimeConfig load_config(const std::string& xml_text) {
 
   if (const auto* faults = root->child("faults")) {
     if (faults->has_attr("seed")) {
-      config.fault_seed = std::stoull(faults->attr("seed"));
+      config.fault_seed =
+          parse_uint(faults->attr("seed"), "<faults> attribute 'seed'");
     }
     for (const auto* tier : faults->children_named("tier")) {
       CANOPUS_CHECK(tier->has_attr("name"),
@@ -239,15 +288,20 @@ RuntimeConfig load_config(const std::string& xml_text) {
   if (const auto* retry = root->child("retry")) {
     storage::RetryPolicy policy;
     if (retry->has_attr("max-attempts")) {
-      policy.max_attempts = static_cast<std::uint32_t>(
-          std::stoul(retry->attr("max-attempts")));
+      const std::uint64_t attempts = parse_uint(
+          retry->attr("max-attempts"), "<retry> attribute 'max-attempts'");
+      CANOPUS_CHECK(attempts <= std::numeric_limits<std::uint32_t>::max(),
+                    "<retry> attribute 'max-attempts' overflows: '" +
+                        retry->attr("max-attempts") + "'");
+      policy.max_attempts = static_cast<std::uint32_t>(attempts);
       CANOPUS_CHECK(policy.max_attempts >= 1, "max-attempts must be >= 1");
     }
     if (retry->has_attr("backoff")) {
       policy.backoff_seconds = parse_duration(retry->attr("backoff"));
     }
     if (retry->has_attr("multiplier")) {
-      policy.backoff_multiplier = std::stod(retry->attr("multiplier"));
+      policy.backoff_multiplier = parse_double(
+          retry->attr("multiplier"), "<retry> attribute 'multiplier'");
       CANOPUS_CHECK(policy.backoff_multiplier >= 1.0,
                     "backoff multiplier must be >= 1");
     }
@@ -260,13 +314,17 @@ RuntimeConfig load_config(const std::string& xml_text) {
       cc.budget_bytes = parse_size(cache_node->attr("budget"));
     }
     if (cache_node->has_attr("budget-mb")) {
-      cc.budget_bytes = static_cast<std::size_t>(
-                            std::stoull(cache_node->attr("budget-mb")))
-                        << 20;
+      const std::uint64_t mb = parse_uint(cache_node->attr("budget-mb"),
+                                          "<cache> attribute 'budget-mb'");
+      CANOPUS_CHECK(mb <= (std::numeric_limits<std::uint64_t>::max() >> 20),
+                    "<cache> attribute 'budget-mb' overflows: '" +
+                        cache_node->attr("budget-mb") + "'");
+      cc.budget_bytes = static_cast<std::size_t>(mb << 20);
     }
     CANOPUS_CHECK(cc.budget_bytes > 0, "cache budget must be > 0");
     if (cache_node->has_attr("shards")) {
-      cc.shards = static_cast<std::size_t>(std::stoul(cache_node->attr("shards")));
+      cc.shards = static_cast<std::size_t>(
+          parse_uint(cache_node->attr("shards"), "<cache> attribute 'shards'"));
       CANOPUS_CHECK(cc.shards >= 1, "cache shards must be >= 1");
     }
     if (cache_node->has_attr("verify-hits")) {
@@ -288,11 +346,38 @@ RuntimeConfig load_config(const std::string& xml_text) {
     }
     if (observability->has_attr("histogram-buckets")) {
       oo.histogram_buckets = static_cast<std::size_t>(
-          std::stoul(observability->attr("histogram-buckets")));
+          parse_uint(observability->attr("histogram-buckets"),
+                     "<observability> attribute 'histogram-buckets'"));
       CANOPUS_CHECK(oo.histogram_buckets >= 2,
                     "histogram-buckets must be >= 2");
     }
     config.observability = oo;
+  }
+
+  if (const auto* serve_node = root->child("serve")) {
+    serve::ServeConfig sc;
+    if (serve_node->has_attr("workers")) {
+      sc.workers = static_cast<std::size_t>(
+          parse_uint(serve_node->attr("workers"), "<serve> attribute 'workers'"));
+      CANOPUS_CHECK(sc.workers >= 1, "<serve> workers must be >= 1");
+    }
+    if (serve_node->has_attr("queue-limit")) {
+      sc.queue_limit = static_cast<std::size_t>(parse_uint(
+          serve_node->attr("queue-limit"), "<serve> attribute 'queue-limit'"));
+      CANOPUS_CHECK(sc.queue_limit >= 1, "<serve> queue-limit must be >= 1");
+    }
+    if (serve_node->has_attr("deadline-default")) {
+      sc.default_deadline_seconds =
+          parse_duration(serve_node->attr("deadline-default"));
+      CANOPUS_CHECK(sc.default_deadline_seconds > 0.0,
+                    "<serve> deadline-default must be > 0");
+    }
+    if (serve_node->has_attr("age-boost")) {
+      sc.age_boost = parse_double(serve_node->attr("age-boost"),
+                                  "<serve> attribute 'age-boost'");
+      CANOPUS_CHECK(sc.age_boost >= 0.0, "<serve> age-boost must be >= 0");
+    }
+    config.serve = sc;
   }
   return config;
 }

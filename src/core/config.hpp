@@ -27,6 +27,8 @@
 //     <cache budget="64MiB" shards="8"/>
 //     <observability enabled="true" trace="run-trace.json"
 //                    histogram-buckets="64"/>
+//     <serve workers="4" queue-limit="64" deadline-default="250ms"
+//            age-boost="4"/>
 //   </canopus-config>
 //
 // Presets (tmpfs, nvram, ssd, burst-buffer, lustre, campaign) pull the
@@ -53,6 +55,13 @@
 // (src/cache): `budget` is a size ("64MiB"; `budget-mb` accepts a bare
 // MiB count), `shards` the lock-shard count, and `verify-hits` re-checks
 // each hit's CRC-32.
+//
+// The optional <serve> element configures the deadline-aware query
+// scheduler behind Pipeline::submit_query (src/serve): `workers` is the
+// service capacity, `queue-limit` bounds the admission queue (excess
+// submissions are shed with kOverloaded), `deadline-default` is the
+// retrieval-cost budget of queries that name none, and `age-boost` the
+// priority points a waiting query gains per queued second.
 
 #include <optional>
 #include <string>
@@ -61,6 +70,7 @@
 #include "cache/block_cache.hpp"
 #include "core/types.hpp"
 #include "obs/observability.hpp"
+#include "serve/serve_config.hpp"
 #include "storage/fault.hpp"
 #include "storage/hierarchy.hpp"
 
@@ -88,6 +98,11 @@ struct RuntimeConfig {
   /// uncached. make_hierarchy() attaches it; Pipeline::from_config also
   /// forwards it so a facade built from this config shares one cache.
   std::optional<canopus::cache::CacheConfig> cache;
+
+  /// Query-scheduler knobs from the optional <serve> element; nullopt means
+  /// Pipeline::submit_query falls back to ServeConfig defaults on first use.
+  /// Forwarded by Pipeline::from_config.
+  std::optional<canopus::serve::ServeConfig> serve;
 
   /// Builds the configured hierarchy, with the fault injector attached and
   /// the retry policy applied when the document configured them.

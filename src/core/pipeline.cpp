@@ -1,5 +1,6 @@
 #include "core/pipeline.hpp"
 
+#include <cmath>
 #include <exception>
 #include <utility>
 
@@ -21,6 +22,7 @@ std::string to_string(StatusCode code) {
     case StatusCode::kIntegrityError: return "integrity-error";
     case StatusCode::kCapacity: return "capacity";
     case StatusCode::kInternal: return "internal";
+    case StatusCode::kOverloaded: return "overloaded";
   }
   return "unknown";
 }
@@ -113,6 +115,7 @@ Pipeline Pipeline::from_config(const core::RuntimeConfig& config) {
   options.parallel = config.refactor.parallel;
   options.observability = config.observability;
   options.cache = config.cache;
+  options.serve = config.serve;
   // make_hierarchy() already attaches the configured fault injector and retry
   // policy; leaving options.retry/faults unset avoids re-applying them.
   return Pipeline(config.make_hierarchy(), std::move(options));
@@ -168,6 +171,11 @@ Status Pipeline::read(const ReadRequest& request, ReadResult* result) {
   if (request.path.empty() || request.var.empty()) {
     return Status::failure(StatusCode::kInvalidArgument,
                            "read: path and var are required");
+  }
+  if (request.rmse_threshold.has_value() &&
+      !std::isfinite(*request.rmse_threshold)) {
+    return Status::failure(StatusCode::kInvalidArgument,
+                           "read: rmse_threshold must be finite");
   }
   try {
     CANOPUS_SPAN("pipeline.read", {{"path", request.path},
@@ -270,6 +278,10 @@ Status ReadSession::refine_to(std::uint32_t level) {
 }
 
 Status ReadSession::refine_until(double rmse_threshold) {
+  if (!std::isfinite(rmse_threshold)) {
+    return Status::failure(StatusCode::kInvalidArgument,
+                           "refine_until: rmse_threshold must be finite");
+  }
   try {
     const core::RetrievalTimings acc = reader_->refine_until(rmse_threshold);
     return status_from_read(reader_->last_status(), acc);

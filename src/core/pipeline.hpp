@@ -30,6 +30,7 @@
 // through Pipeline.
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -39,9 +40,21 @@
 #include "core/progressive_reader.hpp"
 #include "core/refactorer.hpp"
 #include "obs/observability.hpp"
+#include "serve/serve_config.hpp"
 #include "storage/hierarchy.hpp"
 
 namespace canopus {
+
+// The deadline-aware query scheduler (src/serve) plugs into the facade via
+// Pipeline::submit_query(). Only forward declarations here: the serve module
+// links against core, so the member functions touching these types are
+// defined in src/serve/pipeline_serve.cpp and core itself never references
+// serve symbols.
+namespace serve {
+struct QueryRequest;
+struct QueryResult;
+class QueryScheduler;
+}  // namespace serve
 
 /// Unified result classification for every facade operation. Replaces the
 /// mixed error reporting of the pre-facade API: thrown canopus::Error /
@@ -57,6 +70,8 @@ enum class StatusCode : std::uint8_t {
   kIntegrityError = 6,  // corruption detected and no clean copy remained
   kCapacity = 7,      // no tier can hold the data (write path)
   kInternal = 8,      // unexpected failure; detail carries the message
+  kOverloaded = 9,    // query shed by admission control (serve path); the
+                      // client should back off and retry, possibly coarser
 };
 
 std::string to_string(StatusCode code);
@@ -152,6 +167,10 @@ struct PipelineOptions {
   /// ReadSession of this pipeline, with single-flight loading. Leave unset
   /// for the uncached (per-reader) behavior.
   std::optional<cache::CacheConfig> cache;
+  /// When set, Pipeline::submit_query()'s QueryScheduler is created with
+  /// these knobs (worker count, bounded admission queue, default deadline,
+  /// priority aging). Leave unset to get ServeConfig defaults on first use.
+  std::optional<serve::ServeConfig> serve;
 };
 
 /// One concurrent progressive-read session, created by
@@ -241,6 +260,22 @@ class Pipeline {
   Status open_session(const ReadRequest& request,
                       std::unique_ptr<ReadSession>* session);
 
+  /// Submits one deadline/priority query to the pipeline's QueryScheduler
+  /// (serving-under-load entry point: bounded admission queue, per-level
+  /// cost-model planning, elastic degradation). Blocks until the query
+  /// completes, degrades, or is shed; never throws. kOverloaded means the
+  /// admission queue was full and no work was done; a degraded Status means
+  /// the deadline (or a fault) stopped refinement above the target level and
+  /// `result` holds the coarser answer. Defined in the serve module
+  /// (src/serve/pipeline_serve.cpp); see serve/query_scheduler.hpp.
+  Status submit_query(const serve::QueryRequest& request,
+                      serve::QueryResult* result);
+
+  /// The pipeline's scheduler, created on first use from
+  /// PipelineOptions::serve (or defaults); never null. Use for non-blocking
+  /// submission (submit()), stats, and the pause/resume admission gate.
+  serve::QueryScheduler& query_scheduler();
+
   /// The cache attached to the hierarchy, or nullptr (for stats in benches).
   cache::BlockCache* block_cache() const { return hierarchy_->block_cache(); }
 
@@ -260,6 +295,12 @@ class Pipeline {
   /// options_.parallel.threads; sessions fall back to the global pool when
   /// no thread count is pinned).
   std::optional<util::ThreadPool> session_pool_;
+  /// Lazily created by query_scheduler() (definition lives in the serve
+  /// module). Declared after session_pool_ so the scheduler's workers join
+  /// before the pool they execute on is torn down. shared_ptr's type-erased
+  /// deleter makes the incomplete type safe to destroy from core TUs.
+  std::shared_ptr<serve::QueryScheduler> scheduler_;
+  std::once_flag scheduler_once_;
 };
 
 }  // namespace canopus

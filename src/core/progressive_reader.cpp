@@ -1,5 +1,6 @@
 #include "core/progressive_reader.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 
@@ -48,6 +49,15 @@ void fold(const adios::ReadTiming& t, RetrievalTimings& step) {
 /// Spatially permuted (chunked) deltas are stored in Morton order; scatter
 /// them back to vertex order. The scatter targets are a permutation, so the
 /// pool fan-out writes disjoint entries and the result is order-independent.
+/// RMS of a delta field. Permutation-invariant, so equally valid on the
+/// Morton storage order and the vertex order.
+double rms_of(const mesh::Field& delta) {
+  if (delta.empty()) return 0.0;
+  double sum2 = 0.0;
+  for (const double d : delta) sum2 += d * d;
+  return std::sqrt(sum2 / static_cast<double>(delta.size()));
+}
+
 mesh::Field unpermute_delta(const mesh::Field& stored,
                             const std::vector<mesh::VertexId>& order,
                             util::ThreadPool& pool) {
@@ -284,12 +294,17 @@ RetrievalTimings ProgressiveReader::refine() {
   // Dynamic span name so the summary table gets one latency row per level.
   CANOPUS_SPAN("read.refine.L" + std::to_string(next), {{"var", var_}});
   RetrievalTimings step;
+  double delta_rms = 0.0;
   try {
+    // A prior regional step skipped chunks at the current level: re-read and
+    // apply them first, so this full delta lands on a full-accuracy level and
+    // partially_refined() turns false again. (Once regional steps have
+    // stacked, skipped_ is empty and the flag stays sticky — the missing
+    // deltas already propagated through finer estimates.)
+    if (skipped_ && skipped_->level == current_level_) backfill_skipped(step);
     bool chunked = false;
     mesh::Field delta = decode_level(take_prefetch(next), step, chunked);
-    // Note: partially_refined_ stays sticky — once a coarser level skipped
-    // chunks, values outside that region remain approximate no matter how many
-    // full deltas are applied on top.
+    delta_rms = rms_of(delta);
 
     if (geometry_) {
       // Every read of this step is done: overlap the (pure compute) unpermute
@@ -332,6 +347,7 @@ RetrievalTimings ProgressiveReader::refine() {
     return degrade(std::move(step));
   }
   current_level_ = next;
+  last_delta_rms_ = delta_rms;
   last_status_ = step.retries > 0 || step.replica_reads > 0
                      ? RefineStatus::kRetried
                      : RefineStatus::kOk;
@@ -339,6 +355,44 @@ RetrievalTimings ProgressiveReader::refine() {
                 "restored level inconsistent with its mesh");
   cumulative_ += step;
   return step;
+}
+
+void ProgressiveReader::backfill_skipped(RetrievalTimings& step) {
+  SkippedChunks& sk = *skipped_;
+  CANOPUS_SPAN("read.backfill",
+               {{"level", sk.level}, {"chunks", sk.chunks.size()}});
+  // Skipped chunks were applied as delta = 0 during the regional restore
+  // (fine = estimate + delta), so adding the stored values back is an exact
+  // fix-up: estimate + 0 + d computes the same bits as estimate + d.
+  const std::vector<mesh::VertexId>* order = nullptr;
+  std::shared_ptr<const std::vector<mesh::VertexId>> local_order;
+  if (geometry_) {
+    order = &geometry_->order(sk.level);
+  } else {
+    local_order = cached_spatial_order(mesh_);
+    order = local_order.get();
+  }
+  auto& pending = sk.chunks;
+  while (!pending.empty()) {
+    const std::uint32_t c = pending.back();
+    adios::ReadTiming t;
+    const auto part =
+        reader_.read_doubles_chunk(var_, adios::BlockKind::kDelta, sk.level, c, &t);
+    fold(t, step);
+    CANOPUS_CHECK(part.size() == sk.index.chunks[c].count,
+                  "chunk size inconsistent with its index");
+    util::WallTimer timer;
+    const std::size_t start = static_cast<std::size_t>(sk.index.chunks[c].start);
+    for (std::size_t i = 0; i < part.size(); ++i) {
+      values_[(*order)[start + i]] += part[i];
+    }
+    step.restore_seconds += timer.seconds();
+    // Pop only after the chunk landed: a fetch fault above leaves an exactly
+    // resumable remainder (the caller degrades; the flag stays set).
+    pending.pop_back();
+  }
+  partially_refined_ = false;
+  skipped_.reset();
 }
 
 RetrievalTimings ProgressiveReader::refine_region(const mesh::Aabb& roi) {
@@ -370,12 +424,15 @@ RetrievalTimings ProgressiveReader::refine_region(const mesh::Aabb& roi) {
   }
 
   RetrievalTimings step;
+  double delta_rms = 0.0;
+  std::vector<std::uint32_t> skipped_ids;
   try {
     std::size_t fine_count = 0;
     for (const auto& c : index.chunks) fine_count += c.count;
     // Delta in Morton storage order; unfetched chunks stay zero (estimate-only).
     mesh::Field stored(fine_count, 0.0);
-    for (std::uint32_t c : index.intersecting(roi)) {
+    const std::vector<std::uint32_t> wanted = index.intersecting(roi);
+    for (std::uint32_t c : wanted) {
       adios::ReadTiming t;
       const auto part =
           reader_.read_doubles_chunk(var_, adios::BlockKind::kDelta, next, c, &t);
@@ -385,6 +442,14 @@ RetrievalTimings ProgressiveReader::refine_region(const mesh::Aabb& roi) {
       std::copy(part.begin(), part.end(),
                 stored.begin() + static_cast<long>(index.chunks[c].start));
     }
+    // `wanted` is ascending (index.intersecting scans chunks in order).
+    for (std::uint32_t c = 0;
+         c < static_cast<std::uint32_t>(index.chunks.size()); ++c) {
+      if (!std::binary_search(wanted.begin(), wanted.end(), c)) {
+        skipped_ids.push_back(c);
+      }
+    }
+    delta_rms = rms_of(stored);  // lower bound: skipped chunks count as zero
 
     if (geometry_) {
       util::WallTimer t;
@@ -417,10 +482,25 @@ RetrievalTimings ProgressiveReader::refine_region(const mesh::Aabb& roi) {
     return degrade(std::move(step));
   }
   current_level_ = next;
+  last_delta_rms_ = delta_rms;
   last_status_ = step.retries > 0 || step.replica_reads > 0
                      ? RefineStatus::kRetried
                      : RefineStatus::kOk;
-  partially_refined_ = true;
+  // Skip-set bookkeeping for the backfill in refine(). Any previously
+  // recorded set is now stale — it applied to a coarser level the reader has
+  // moved past.
+  const bool was_partial = partially_refined_;
+  skipped_.reset();
+  if (!skipped_ids.empty()) {
+    if (!was_partial) {
+      // Clean reader, first partial level: an exact additive backfill is
+      // possible until further regional steps stack on top.
+      skipped_ = SkippedChunks{next, std::move(index), std::move(skipped_ids)};
+    }
+    partially_refined_ = true;
+  }
+  // The ROI covered every chunk: a full-accuracy refine in disguise, the
+  // partial flag keeps its previous value.
   CANOPUS_CHECK(values_.size() == current_mesh().vertex_count(),
                 "restored level inconsistent with its mesh");
   cumulative_ += step;
@@ -438,6 +518,12 @@ RetrievalTimings ProgressiveReader::refine_to(std::uint32_t level) {
 }
 
 RetrievalTimings ProgressiveReader::refine_until(double rmse_threshold) {
+  // NaN poisons every comparison below (rmse < NaN is false, so a NaN
+  // threshold would silently refine to full accuracy); reject it loudly. A
+  // finite threshold <= 0 is legal and means "no early stop" — an RMS is
+  // >= 0, so refinement runs to full accuracy by construction.
+  CANOPUS_CHECK(std::isfinite(rmse_threshold),
+                "refine_until: rmse_threshold must be finite");
   RetrievalTimings acc;
   while (current_level_ > 0) {
     const mesh::Field before = values_;          // values at the coarser level
@@ -468,6 +554,41 @@ RetrievalTimings ProgressiveReader::refine_until(double rmse_threshold) {
     if (rmse < rmse_threshold) break;
   }
   return acc;
+}
+
+RetrievalTimings ProgressiveReader::refine_while(
+    const std::function<bool(std::uint32_t, double)>& admit) {
+  CANOPUS_CHECK(admit != nullptr, "refine_while: admit must not be null");
+  RetrievalTimings acc;
+  while (current_level_ > 0) {
+    const std::uint32_t next = current_level_ - 1;
+    if (!admit(next, estimated_refine_cost(next))) break;
+    acc += refine();
+    if (last_status_ == RefineStatus::kDegraded) break;
+  }
+  return acc;
+}
+
+double ProgressiveReader::estimated_refine_cost(std::uint32_t level) const {
+  CANOPUS_CHECK(level < levels_, "level out of range");
+  const auto info = reader_.inq_var(var_);
+  const cache::BlockCache* cache = hierarchy_.block_cache();
+  double cost = 0.0;
+  for (const auto& b : info.blocks) {
+    if (b.level != level) continue;
+    const bool data = b.kind == adios::BlockKind::kDelta;
+    const bool geom = geometry_ == nullptr &&
+                      (b.kind == adios::BlockKind::kMesh ||
+                       b.kind == adios::BlockKind::kMapping);
+    if (!data && !geom) continue;
+    if (cache != nullptr &&
+        (cache->contains(b.object_key) ||
+         cache->contains(storage::StorageHierarchy::decoded_alias(b.object_key)))) {
+      continue;  // cache hits cost zero simulated seconds
+    }
+    cost += hierarchy_.tier(b.tier).read_cost(b.stored_bytes);
+  }
+  return cost;
 }
 
 }  // namespace canopus::core

@@ -7,6 +7,7 @@
 // for speed on the fly (Fig. 1, right side). Every step reports the paper's
 // phase breakdown (I/O, decompression, restoration).
 
+#include <functional>
 #include <future>
 #include <optional>
 #include <string>
@@ -121,9 +122,13 @@ class ProgressiveReader {
   /// whose extent intersects `roi` and restore the next level with full
   /// accuracy inside the region and estimate-only values outside. Requires
   /// the variable to have been written with delta_chunks > 1; with a single
-  /// chunk this degrades to a full refine(). After a regional refinement
-  /// partially_refined() reports true until a full-accuracy region is
-  /// re-established by further refine() calls reading every chunk.
+  /// chunk this degrades to a full refine(). After a regional refinement that
+  /// skipped chunks, partially_refined() reports true until the next full
+  /// refine() backfills the skipped chunks (it re-reads them and applies
+  /// their deltas before descending, restoring full accuracy bitwise). Once a
+  /// second regional step stacks on a partial level, the missing deltas have
+  /// propagated through the finer level's estimates and the flag becomes
+  /// sticky — exact re-establishment is no longer possible.
   RetrievalTimings refine_region(const mesh::Aabb& roi);
 
   /// True when some vertices of the current level carry estimate-only values
@@ -137,8 +142,40 @@ class ProgressiveReader {
   /// Automated termination (Section III-E): refines until the RMS change
   /// between consecutive levels drops below `rmse_threshold` (computed on the
   /// refined level against its estimate), full accuracy is reached, or a
-  /// step degrades.
+  /// step degrades. Throws Error on a non-finite threshold; a threshold <= 0
+  /// can never exceed an RMS (which is >= 0), so it refines to full accuracy
+  /// — the documented way to say "no early stop".
   RetrievalTimings refine_until(double rmse_threshold);
+
+  /// Budgeted refinement for the serve-layer scheduler: before each step,
+  /// `admit(next_level, estimated_step_io_seconds)` decides whether to take
+  /// it. Stops when admit returns false, full accuracy is reached, or a step
+  /// degrades; returns accumulated step timings. The estimate passed to
+  /// admit is estimated_refine_cost(next_level).
+  RetrievalTimings refine_while(
+      const std::function<bool(std::uint32_t, double)>& admit);
+
+  /// Estimated simulated-I/O seconds of refining to `level` (one step):
+  /// per-block tier read costs from container metadata (delta chunks, plus
+  /// mesh/mapping blocks when no geometry cache is attached), with
+  /// cache-resident blocks counted as free. Pure metadata/cache probe — no
+  /// tier reads, no side effects. The serve module layers compute estimates
+  /// and observed-latency calibration on top (serve/cost_model.hpp).
+  double estimated_refine_cost(std::uint32_t level) const;
+
+  /// RMS of the delta applied by the most recent successful refine() /
+  /// refine_region() — the achieved-accuracy proxy the scheduler reports
+  /// (for a regional step it is a lower bound: skipped chunks count as
+  /// zero). Empty before the first refinement.
+  std::optional<double> last_delta_rms() const { return last_delta_rms_; }
+
+  /// Container metadata of the open variable (block records with per-chunk
+  /// sizes, tier placements, and object keys) — the cost model's input.
+  adios::VarInfo var_info() const { return reader_.inq_var(var_); }
+
+  /// True when a campaign GeometryCache supplies meshes/mappings (no
+  /// per-step geometry I/O).
+  bool has_geometry() const { return geometry_ != nullptr; }
 
   /// Timings accumulated since open (includes the base retrieval).
   const RetrievalTimings& cumulative() const { return cumulative_; }
@@ -155,6 +192,25 @@ class ProgressiveReader {
     std::vector<adios::BpReader::RawChunk> chunks;
     std::exception_ptr error;
   };
+
+  /// Chunks a regional refinement skipped, remembered so the next full
+  /// refine() can re-establish full accuracy exactly: restoration is
+  /// fine = estimate + delta and skipped chunks were applied as delta = 0,
+  /// so re-reading them and adding their (unpermuted) values is an exact
+  /// additive fix-up. Only recorded while the reader was clean — once
+  /// partial levels stack, the missing contribution has propagated through
+  /// later estimates and partially_refined_ stays sticky.
+  struct SkippedChunks {
+    std::uint32_t level = 0;              // the partially refined level
+    ChunkIndex index;
+    std::vector<std::uint32_t> chunks;    // chunk ids not fetched
+  };
+
+  /// Re-reads the pending skipped chunks of the current level and applies
+  /// their deltas additively, clearing partially_refined_. Applied chunks
+  /// are popped as they land, so a tier fault mid-way (which propagates to
+  /// the caller's degrade path) leaves an exactly resumable remainder.
+  void backfill_skipped(RetrievalTimings& step);
 
   /// Records a failed step: counts it, sets kDegraded, keeps reader state.
   RetrievalTimings degrade(RetrievalTimings step);
@@ -185,6 +241,8 @@ class ProgressiveReader {
   std::uint32_t current_level_ = 0;
   RefineStatus last_status_ = RefineStatus::kOk;
   bool partially_refined_ = false;
+  std::optional<SkippedChunks> skipped_;
+  std::optional<double> last_delta_rms_;
   mesh::TriMesh mesh_;  // only populated when geometry_ is null
   mesh::Field values_;
   // Lazily resolved in decimation_ratio() const from container metadata.

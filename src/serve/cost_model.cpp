@@ -1,0 +1,129 @@
+#include "serve/cost_model.hpp"
+
+#include <algorithm>
+
+#include "adios/bp.hpp"
+#include "cache/block_cache.hpp"
+#include "obs/metrics.hpp"
+#include "util/assert.hpp"
+
+namespace canopus::serve {
+
+void Calibration::observe_compute(std::size_t bytes, double seconds) {
+  if (bytes == 0 || !(seconds > 0.0)) return;
+  const double sample = seconds / static_cast<double>(bytes);
+  double current = ewma_.load(std::memory_order_relaxed);
+  double next = 0.0;
+  do {
+    next = 0.8 * current + 0.2 * sample;
+  } while (!ewma_.compare_exchange_weak(current, next,
+                                        std::memory_order_relaxed));
+}
+
+double Calibration::tier_factor(const storage::StorageTier& tier) {
+  if (!obs::enabled()) return 1.0;
+  auto& registry = obs::MetricsRegistry::global();
+  const std::string& name = tier.spec().name;
+  const obs::Histogram& latency =
+      registry.histogram("storage." + name + ".read_us");
+  const std::uint64_t samples = latency.count();
+  if (samples < 16) return 1.0;  // too little signal to overrule the spec
+  const std::uint64_t reads =
+      registry.counter("storage." + name + ".reads").value();
+  const std::uint64_t bytes =
+      registry.counter("storage." + name + ".read_bytes").value();
+  if (reads == 0) return 1.0;
+  const double observed_mean_seconds =
+      latency.sum() / 1e6 / static_cast<double>(samples);
+  const double mean_read_bytes =
+      static_cast<double>(bytes) / static_cast<double>(reads);
+  const double predicted_seconds =
+      tier.read_cost(static_cast<std::size_t>(mean_read_bytes));
+  if (!(predicted_seconds > 0.0)) return 1.0;
+  // Clamped: the histogram mixes block sizes, so the ratio is a trend
+  // signal, not a precise measurement.
+  return std::clamp(observed_mean_seconds / predicted_seconds, 0.25, 4.0);
+}
+
+CostModel CostModel::build(storage::StorageHierarchy& hierarchy,
+                           const core::ProgressiveReader& reader,
+                           const Calibration* calibration) {
+  CostModel model;
+  const std::size_t levels = reader.level_count();
+  if (levels <= 1) return model;
+  model.steps_.assign(levels - 1, LevelCostEstimate{});
+  for (std::uint32_t l = 0; l < model.steps_.size(); ++l) {
+    model.steps_[l].level = l;
+  }
+
+  const double seconds_per_byte = calibration != nullptr
+                                      ? calibration->compute_seconds_per_byte()
+                                      : Calibration::kPriorSecondsPerByte;
+  std::vector<double> tier_factors(hierarchy.tier_count(), 1.0);
+  for (std::size_t i = 0; i < tier_factors.size(); ++i) {
+    tier_factors[i] = Calibration::tier_factor(hierarchy.tier(i));
+  }
+
+  const cache::BlockCache* cache = hierarchy.block_cache();
+  const adios::VarInfo info = reader.var_info();
+  for (const auto& b : info.blocks) {
+    if (b.level >= model.steps_.size()) continue;  // base-level blocks
+    const bool data = b.kind == adios::BlockKind::kDelta;
+    // Without a GeometryCache each step also reads the fine level's mesh and
+    // mapping blocks; the chunk index is only touched by regional reads.
+    const bool geometry = !reader.has_geometry() &&
+                          (b.kind == adios::BlockKind::kMesh ||
+                           b.kind == adios::BlockKind::kMapping);
+    if (!data && !geometry) continue;
+
+    LevelCostEstimate& step = model.steps_[b.level];
+    step.bytes += static_cast<std::size_t>(b.stored_bytes);
+    cache::BlockCache::Residency residency;
+    if (cache != nullptr) {
+      residency = cache->probe(
+          b.object_key, storage::StorageHierarchy::decoded_alias(b.object_key));
+    }
+    if (residency.blob || residency.decoded) {
+      ++step.cached_blocks;  // I/O free: the blob never leaves the cache
+    } else {
+      step.io_seconds +=
+          tier_factors[b.tier] *
+          hierarchy.tier(b.tier).read_cost(static_cast<std::size_t>(b.stored_bytes));
+    }
+    if (!residency.decoded) {
+      step.compute_seconds +=
+          seconds_per_byte * static_cast<double>(b.stored_bytes);
+    }
+  }
+  return model;
+}
+
+const LevelCostEstimate& CostModel::step(std::uint32_t level) const {
+  CANOPUS_CHECK(level < steps_.size(), "cost model: level out of range");
+  return steps_[level];
+}
+
+double CostModel::cost_between(std::uint32_t from, std::uint32_t to) const {
+  double cost = 0.0;
+  for (std::uint32_t l = to; l < from && l < steps_.size(); ++l) {
+    cost += steps_[l].total();
+  }
+  return cost;
+}
+
+std::uint32_t CostModel::reachable_level(std::uint32_t from, double budget,
+                                         std::uint32_t floor_level) const {
+  std::uint32_t level = from;
+  double spent = 0.0;
+  while (level > floor_level && level > 0) {
+    const std::uint32_t next = level - 1;
+    if (next >= steps_.size()) break;  // defensive: malformed metadata
+    const double step_cost = steps_[next].total();
+    if (spent + step_cost > budget) break;
+    spent += step_cost;
+    level = next;
+  }
+  return level;
+}
+
+}  // namespace canopus::serve

@@ -1,0 +1,33 @@
+// Pipeline facade entry points into the serve module.
+//
+// These are member functions of canopus::Pipeline, declared in
+// core/pipeline.hpp but defined here: serve links against core, so core's own
+// TUs never reference serve symbols and the layering stays acyclic. Any
+// binary calling Pipeline::submit_query()/query_scheduler() links canopus
+// (the umbrella), which carries this TU.
+
+#include "core/pipeline.hpp"
+#include "serve/query_scheduler.hpp"
+
+namespace canopus {
+
+serve::QueryScheduler& Pipeline::query_scheduler() {
+  std::call_once(scheduler_once_, [this] {
+    scheduler_ = std::make_shared<serve::QueryScheduler>(
+        *hierarchy_, options_.serve.value_or(serve::ServeConfig{}),
+        options_.parallel,
+        session_pool_.has_value() ? &*session_pool_ : nullptr);
+  });
+  return *scheduler_;
+}
+
+Status Pipeline::submit_query(const serve::QueryRequest& request,
+                              serve::QueryResult* result) {
+  if (result == nullptr) {
+    return Status::failure(StatusCode::kInvalidArgument,
+                           "submit_query: result must not be null");
+  }
+  return query_scheduler().execute(request, result);
+}
+
+}  // namespace canopus

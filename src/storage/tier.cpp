@@ -112,12 +112,20 @@ IoResult StorageTier::read(const std::string& key, util::Bytes& out) const {
     extra_seconds = d.extra_seconds;
   }
   out = unframe_blob(framed);  // throws IntegrityError on corruption
+  const double sim_seconds = read_cost(out.size()) + extra_seconds;
   if (obs::enabled()) {
     count_for(spec_.name, "reads").add(1);
     count_for(spec_.name, "read_bytes").add(out.size());
+    // Observed per-read latency (simulated clock, microseconds). Injected
+    // latency spikes land here too, which is the point: the serve-layer cost
+    // model compares this histogram against the analytic envelope to learn
+    // how much slower the tier currently runs than its spec promises
+    // (serve/cost_model.hpp, Calibration::tier_factor).
+    obs::MetricsRegistry::global()
+        .histogram("storage." + spec_.name + ".read_us")
+        .observe(sim_seconds * 1e6);
   }
-  return IoResult{read_cost(out.size()) + extra_seconds, timer.seconds(),
-                  out.size()};
+  return IoResult{sim_seconds, timer.seconds(), out.size()};
 }
 
 bool StorageTier::contains(const std::string& key) const {

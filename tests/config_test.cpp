@@ -251,3 +251,101 @@ TEST(Config, LoadFromFile) {
   std::remove(path.c_str());
   EXPECT_THROW(cc::load_config_file("/does/not/exist.xml"), canopus::Error);
 }
+
+// -------------------------------------------------- numeric error context --
+
+namespace {
+/// The message load_config throws for `xml`, "" when it does not throw.
+std::string config_error(const std::string& xml) {
+  try {
+    cc::load_config(xml);
+  } catch (const canopus::Error& e) {
+    return e.what();
+  }
+  return {};
+}
+
+std::string wrap(const std::string& body) {
+  return "<canopus-config>\n"
+         "  <storage><tier preset=\"tmpfs\" capacity=\"4MiB\"/></storage>\n" +
+         body + "\n</canopus-config>";
+}
+}  // namespace
+
+TEST(Config, MalformedNumericsNameTheirLocation) {
+  // Regression: these used to surface as bare std::invalid_argument /
+  // std::out_of_range from std::stoul with no hint of which attribute was
+  // wrong. Each diagnostic must name the element/attribute and the offense.
+  const std::string not_int = config_error(wrap("<refactor levels=\"abc\"/>"));
+  EXPECT_NE(not_int.find("levels"), std::string::npos) << not_int;
+  EXPECT_NE(not_int.find("not an integer"), std::string::npos) << not_int;
+
+  const std::string junk = config_error(wrap("<refactor levels=\"3abc\"/>"));
+  EXPECT_NE(junk.find("levels"), std::string::npos) << junk;
+  EXPECT_NE(junk.find("not an integer"), std::string::npos) << junk;
+
+  const std::string negative = config_error(wrap("<faults seed=\"-7\"/>"));
+  EXPECT_NE(negative.find("seed"), std::string::npos) << negative;
+  EXPECT_NE(negative.find("non-negative"), std::string::npos) << negative;
+
+  const std::string overflow =
+      config_error(wrap("<faults seed=\"99999999999999999999999999\"/>"));
+  EXPECT_NE(overflow.find("seed"), std::string::npos) << overflow;
+  EXPECT_NE(overflow.find("overflow"), std::string::npos) << overflow;
+
+  const std::string bad_double =
+      config_error(wrap("<retry multiplier=\"fast\"/>"));
+  EXPECT_NE(bad_double.find("multiplier"), std::string::npos) << bad_double;
+
+  const std::string bad_threads = config_error(wrap("<threads>4x</threads>"));
+  EXPECT_NE(bad_threads.find("threads"), std::string::npos) << bad_threads;
+
+  const std::string attempts_overflow =
+      config_error(wrap("<retry max-attempts=\"4294967296\"/>"));
+  EXPECT_NE(attempts_overflow.find("max-attempts"), std::string::npos)
+      << attempts_overflow;
+
+  const std::string bad_buckets =
+      config_error(wrap("<observability histogram-buckets=\"many\"/>"));
+  EXPECT_NE(bad_buckets.find("histogram-buckets"), std::string::npos)
+      << bad_buckets;
+
+  const std::string neg_bound =
+      config_error(wrap("<refactor error-bound=\"-1e-4\"/>"));
+  EXPECT_NE(neg_bound.find("error-bound"), std::string::npos) << neg_bound;
+}
+
+// ------------------------------------------------------------------ serve --
+
+TEST(Config, ParsesServeBlock) {
+  const auto config = cc::load_config(wrap(
+      "<serve workers=\"4\" queue-limit=\"64\" deadline-default=\"250ms\""
+      " age-boost=\"2.5\"/>"));
+  ASSERT_TRUE(config.serve.has_value());
+  EXPECT_EQ(config.serve->workers, 4u);
+  EXPECT_EQ(config.serve->queue_limit, 64u);
+  EXPECT_DOUBLE_EQ(config.serve->default_deadline_seconds, 0.25);
+  EXPECT_DOUBLE_EQ(config.serve->age_boost, 2.5);
+}
+
+TEST(Config, ServeDefaultsAndValidation) {
+  // No <serve> element: the optional stays empty (scheduler defaults apply
+  // lazily at first use).
+  EXPECT_FALSE(cc::load_config(kSample).serve.has_value());
+  // Bare <serve/> opts in with the ServeConfig defaults.
+  const auto bare = cc::load_config(wrap("<serve/>"));
+  ASSERT_TRUE(bare.serve.has_value());
+  EXPECT_EQ(bare.serve->workers, canopus::serve::ServeConfig{}.workers);
+
+  EXPECT_THROW(cc::load_config(wrap("<serve workers=\"0\"/>")),
+               canopus::Error);
+  EXPECT_THROW(cc::load_config(wrap("<serve queue-limit=\"0\"/>")),
+               canopus::Error);
+  EXPECT_THROW(cc::load_config(wrap("<serve deadline-default=\"0ms\"/>")),
+               canopus::Error);
+  EXPECT_THROW(cc::load_config(wrap("<serve age-boost=\"-1\"/>")),
+               canopus::Error);
+  const std::string bad_workers =
+      config_error(wrap("<serve workers=\"two\"/>"));
+  EXPECT_NE(bad_workers.find("workers"), std::string::npos) << bad_workers;
+}

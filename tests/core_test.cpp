@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <set>
 
 #include "core/canopus.hpp"
@@ -461,4 +462,26 @@ TEST(ErrorBudget, TotalBudgetHeldEndToEnd) {
   cc::ProgressiveReader reader(tiers, "budget.bp", "v");
   reader.refine_to(0);
   EXPECT_LE(cu::max_abs_error(values, reader.values()), 1e-4);
+}
+
+TEST(ProgressiveReader, RefineUntilValidatesThreshold) {
+  auto tiers = big_two_tiers();
+  const auto mesh = cm::make_rect_mesh(20, 20, 1.0, 1.0);
+  cc::RefactorConfig config;
+  config.levels = 3;
+  config.codec = "fpc";
+  cc::refactor_and_write(tiers, "rv.bp", "v", mesh, smooth_field(mesh), config);
+
+  cc::ProgressiveReader reader(tiers, "rv.bp", "v");
+  const auto before = reader.current_level();
+  // A NaN/inf threshold is a caller bug, rejected before any I/O...
+  EXPECT_THROW(reader.refine_until(std::nan("")), canopus::Error);
+  EXPECT_THROW(
+      reader.refine_until(std::numeric_limits<double>::infinity()),
+      canopus::Error);
+  EXPECT_EQ(reader.current_level(), before);
+  // ...while any threshold <= 0 is legal and means "never stop early":
+  // refine all the way to full accuracy.
+  reader.refine_until(-1.0);
+  EXPECT_TRUE(reader.at_full_accuracy());
 }

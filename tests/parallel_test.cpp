@@ -19,6 +19,7 @@
 #include "mesh/generators.hpp"
 #include "obs/observability.hpp"
 #include "obs/trace.hpp"
+#include "serve/query_scheduler.hpp"
 #include "storage/hierarchy.hpp"
 #include "util/thread_pool.hpp"
 
@@ -448,5 +449,44 @@ TEST(ParallelDeterminism, ConcurrentSessionsBitwiseIdenticalCacheOnOff) {
     } else {
       EXPECT_EQ(pipeline.block_cache(), nullptr);
     }
+  }
+}
+
+// ---------------------------------------------- scheduler determinism --
+
+// Serving through the deadline scheduler must be invisible in the bytes: a
+// query with an ample budget restores the exact field of a direct read. The
+// scheduler decides how far to refine, never how.
+TEST(ParallelDeterminism, ScheduledQueryBitwiseMatchesDirectRead) {
+  const auto mesh = cm::make_annulus_mesh(16, 100, 0.5, 1.0, 0.1, 7);
+  auto tiers = three_tiers();
+  cc::refactor_and_write(tiers, "d.bp", "v", mesh, smooth_field(mesh),
+                         parallel_config(4));
+
+  cc::ReaderOptions serial;
+  serial.parallel.threads = 1;
+  serial.parallel.read_ahead = false;
+  cc::ProgressiveReader direct(tiers, "d.bp", "v", nullptr, serial);
+  direct.refine_to(0);
+
+  canopus::PipelineOptions options;
+  options.parallel.threads = 4;
+  canopus::serve::ServeConfig serve;
+  serve.workers = 2;
+  serve.default_deadline_seconds = 1e9;
+  options.serve = serve;
+  canopus::Pipeline pipeline(tiers, options);
+
+  canopus::serve::QueryRequest request;
+  request.path = "d.bp";
+  request.var = "v";
+  request.target_level = 0;
+  canopus::serve::QueryResult result;
+  const canopus::Status status = pipeline.submit_query(request, &result);
+  ASSERT_TRUE(status.ok()) << status.to_string();
+  ASSERT_EQ(result.achieved_level, 0u);
+  ASSERT_EQ(result.values.size(), direct.values().size());
+  for (std::size_t i = 0; i < result.values.size(); ++i) {
+    ASSERT_EQ(result.values[i], direct.values()[i]) << "vertex " << i;
   }
 }

@@ -219,3 +219,82 @@ TEST(RoiRefine, WorksWithGeometryCache) {
   }
   EXPECT_LE(feature_err, 5e-7);
 }
+
+// ------------------------------------------- partial-flag lifecycle (fix) --
+
+TEST(RoiRefine, FullRefineAfterRegionalBackfillsAndClearsFlag) {
+  // Regression: partially_refined() used to latch forever. A full refine()
+  // after a regional step must first backfill the delta chunks the ROI
+  // skipped (making that level exact again) and then clear the flag.
+  const auto mesh = cm::shuffle_vertices(
+      cm::make_rect_mesh(40, 40, 2.0, 2.0, 0.1, 29), 8);
+  const auto values = bump_field(mesh, {1.6, 1.6}, 0.12);
+  auto h = tiers();
+  cc::RefactorConfig config;
+  config.levels = 3;
+  config.codec = "fpc";  // lossless: restored values comparable bitwise
+  config.delta_chunks = 16;
+  cc::refactor_and_write(h, "bf.bp", "v", mesh, values, config);
+
+  cc::ProgressiveReader reader(h, "bf.bp", "v");
+  reader.refine_region({{1.3, 1.3}, {1.9, 1.9}});  // partial coverage
+  ASSERT_TRUE(reader.partially_refined());
+  const std::uint32_t after_roi = reader.current_level();
+
+  const auto backfill_step = reader.refine();  // backfill + next level
+  EXPECT_FALSE(reader.partially_refined());
+  EXPECT_EQ(reader.current_level(), after_roi - 1);
+  EXPECT_GT(backfill_step.bytes_read, 0u);
+
+  // The backfilled state is bitwise the state of a reader that never took
+  // the regional detour.
+  auto h2 = tiers();
+  cc::refactor_and_write(h2, "bf.bp", "v", mesh, values, config);
+  cc::ProgressiveReader straight(h2, "bf.bp", "v");
+  straight.refine_to(reader.current_level());
+  ASSERT_EQ(reader.values().size(), straight.values().size());
+  for (std::size_t i = 0; i < reader.values().size(); ++i) {
+    ASSERT_EQ(reader.values()[i], straight.values()[i]) << "vertex " << i;
+  }
+}
+
+TEST(RoiRefine, FullCoverageRoiLeavesPartialFlagClear) {
+  // An ROI covering every chunk skips nothing: no flag, nothing to backfill.
+  const auto mesh = cm::shuffle_vertices(
+      cm::make_rect_mesh(30, 30, 1.0, 1.0, 0.1, 31), 8);
+  const auto values = bump_field(mesh, {0.5, 0.5}, 0.2);
+  auto h = tiers();
+  cc::RefactorConfig config;
+  config.levels = 2;
+  config.codec = "fpc";
+  config.delta_chunks = 8;
+  cc::refactor_and_write(h, "fc.bp", "v", mesh, values, config);
+
+  cc::ProgressiveReader reader(h, "fc.bp", "v");
+  reader.refine_region({{-10.0, -10.0}, {10.0, 10.0}});
+  EXPECT_FALSE(reader.partially_refined());
+  EXPECT_TRUE(reader.at_full_accuracy());
+  EXPECT_LE(cu::max_abs_error(values, reader.values()), 1e-13);
+}
+
+TEST(RoiRefine, StackedPartialRegionsStaySticky) {
+  // Two partial regional steps stack estimate-only regions from different
+  // levels; no single backfill can reconcile that, so the flag stays set.
+  const auto mesh = cm::shuffle_vertices(
+      cm::make_rect_mesh(40, 40, 2.0, 2.0, 0.1, 37), 8);
+  const auto values = bump_field(mesh, {0.5, 0.5}, 0.15);
+  auto h = tiers();
+  cc::RefactorConfig config;
+  config.levels = 3;
+  config.codec = "zfp";
+  config.error_bound = 1e-7;
+  config.delta_chunks = 16;
+  cc::refactor_and_write(h, "st.bp", "v", mesh, values, config);
+
+  cc::ProgressiveReader reader(h, "st.bp", "v");
+  reader.refine_region({{0.2, 0.2}, {0.8, 0.8}});
+  ASSERT_TRUE(reader.partially_refined());
+  reader.refine_region({{0.3, 0.3}, {0.7, 0.7}});
+  EXPECT_TRUE(reader.at_full_accuracy());
+  EXPECT_TRUE(reader.partially_refined());  // sticky by design once stacked
+}
