@@ -13,13 +13,26 @@
 // are bitwise-identical everywhere (equal accuracy), and exits non-zero if
 // the warm-cache aggregate throughput is not at least 2x the uncached one.
 //
-// Flags: --sessions=8 --cache-mb=64 --threads=0 --eb=1e-4 [--trace-out=f]
+// Cluster mode (--nodes=N, N >= 2): instead of one process-local hierarchy,
+// the refactored products are sharded across a simulated N-node fabric
+// (src/fabric) — every node gets identical hardware (a fast tier sized to
+// ~1.35x its shard, a contended PFS below it, a slice of the cache budget)
+// and K sessions are spread round-robin across the nodes, resolving
+// non-local chunks through the fabric's remote-read envelope. The baseline
+// is ONE such node serving everything (its fast tier overflows to the
+// contended PFS). Exits non-zero unless the cluster run performed remote
+// reads, restored bitwise-identical fields, and met or beat the single-node
+// aggregate throughput — the elastic scale-out claim.
+//
+// Flags: --sessions=8 --cache-mb=64 --threads=0 --eb=1e-4 [--nodes=N]
+//        [--trace-out=f]
 
 #include <cstring>
 #include <iostream>
 #include <thread>
 
 #include "bench_common.hpp"
+#include "fabric/fabric.hpp"
 
 using namespace canopus;
 
@@ -133,6 +146,205 @@ ConfigResult run_config(const sim::Dataset& ds, const bench::PipelineOptions& op
   return r;
 }
 
+// ----------------------------------------------------------------------------
+// Cluster mode (--nodes=N).
+
+struct ClusterResult {
+  std::string label;
+  double io = 0.0;          // mean per-session simulated tier I/O seconds
+  double decompress = 0.0;  // mean per-session wall
+  double restore = 0.0;     // mean per-session wall
+  double elapsed = 0.0;     // max per-session total: the concurrent makespan
+  std::vector<mesh::Field> fields;
+  fabric::Fabric::Stats stats;
+  fabric::ImportReport report;
+};
+
+/// One fabric run: `run_nodes` identical nodes (fast tier of
+/// `fast_capacity` bytes over a contended PFS, `cache_mb_per_node` MiB of
+/// cache each), the staged container sharded across them, and
+/// `opt.sessions` full-accuracy sessions spread round-robin.
+ClusterResult run_fabric_config(const sim::Dataset& ds,
+                                const bench::PipelineOptions& opt,
+                                storage::StorageHierarchy& staging,
+                                std::size_t run_nodes,
+                                std::size_t fast_capacity,
+                                std::size_t cache_mb_per_node) {
+  fabric::FabricOptions fo;
+  fo.nodes = run_nodes;
+  fo.eviction_high = 0.9;  // anticipatory eviction keeps the fast tier open
+  fabric::Fabric cluster(
+      fo, {storage::tmpfs_spec(fast_capacity),
+           bench::contended_lustre_spec(8ull << 30)});
+
+  ClusterResult r;
+  r.label = std::to_string(run_nodes) + (run_nodes == 1 ? " node" : " nodes");
+  r.report = cluster.import_container(staging, "run.bp");
+
+  cache::CacheConfig cc;
+  cc.budget_bytes = cache_mb_per_node << 20;
+  cluster.attach_node_caches(cc);
+
+  // Campaign-lifetime geometry, preloaded off the measured path (every node
+  // holds a full copy of the mesh/mapping blocks).
+  const auto geometry =
+      core::GeometryCache::load(cluster.node(0), "run.bp", ds.variable);
+
+  canopus::PipelineOptions popt;
+  popt.parallel.threads = opt.threads;
+  std::vector<std::unique_ptr<Pipeline>> pipelines;
+  pipelines.reserve(run_nodes);
+  for (std::size_t i = 0; i < run_nodes; ++i) {
+    pipelines.push_back(std::make_unique<Pipeline>(cluster.node(i), popt));
+  }
+
+  ReadRequest rreq;
+  rreq.path = "run.bp";
+  rreq.var = ds.variable;
+  rreq.geometry = &geometry;
+
+  const std::size_t n = opt.sessions;
+  std::vector<std::unique_ptr<ReadSession>> sessions(n);
+  std::vector<Status> statuses(n);
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(n);
+    for (std::size_t s = 0; s < n; ++s) {
+      clients.emplace_back([&, s] {
+        auto st = pipelines[s % run_nodes]->open_session(rreq, &sessions[s]);
+        if (st.ok()) st = sessions[s]->refine_to(0);
+        statuses[s] = st;
+      });
+    }
+    for (auto& client : clients) client.join();
+  }
+
+  for (std::size_t s = 0; s < n; ++s) {
+    if (!statuses[s].usable()) {
+      throw Error("cluster session failed: " + statuses[s].to_string());
+    }
+    const auto& t = sessions[s]->timings();
+    const double total =
+        t.io_seconds + t.decompress_seconds + t.restore_seconds;
+    r.io += t.io_seconds;
+    r.decompress += t.decompress_seconds;
+    r.restore += t.restore_seconds;
+    r.elapsed = std::max(r.elapsed, total);
+    r.fields.push_back(sessions[s]->values());
+  }
+  r.io /= static_cast<double>(n);
+  r.decompress /= static_cast<double>(n);
+  r.restore /= static_cast<double>(n);
+  r.stats = cluster.stats();
+  return r;
+}
+
+int run_cluster_bench(const sim::Dataset& ds, const bench::PipelineOptions& opt,
+                      std::size_t nodes) {
+  const std::size_t raw_bytes = ds.values.size() * sizeof(double);
+  std::cout << "cluster mode: " << nodes << " simulated nodes, "
+            << opt.sessions << " sessions round-robin\n\n";
+
+  // Refactor once into an unconstrained staging hierarchy; both fabric runs
+  // shard the same container. More delta chunks than nodes so the Morton
+  // ranges split evenly.
+  storage::StorageHierarchy staging({storage::tmpfs_spec(1ull << 30)});
+  {
+    canopus::PipelineOptions popt;
+    popt.parallel.threads = opt.threads;
+    Pipeline writer(staging, popt);
+    WriteRequest wreq;
+    wreq.path = "run.bp";
+    wreq.var = ds.variable;
+    wreq.mesh = &ds.mesh;
+    wreq.values = &ds.values;
+    wreq.config.levels = 4;
+    wreq.config.delta_chunks = 4 * nodes;
+    wreq.config.codec = opt.codec;
+    wreq.config.error_bound = opt.error_bound;
+    const auto ws = writer.write(wreq);
+    if (!ws.ok()) throw Error("refactor failed: " + ws.to_string());
+  }
+
+  // Size each node's fast tier to ~1.35x its shard of the refactored
+  // payload: an N-node fabric serves every primary from aggregate fast
+  // memory, while the 1-node baseline (identical hardware) overflows
+  // ~(1 - 1.35/N) of the payload to the contended PFS.
+  std::size_t sharded_bytes = 0;
+  {
+    adios::BpReader scan(staging, "run.bp");
+    for (const auto& name : scan.variables()) {
+      for (const auto& b : scan.inq_var(name).blocks) {
+        if (b.kind == adios::BlockKind::kBase ||
+            b.kind == adios::BlockKind::kDelta ||
+            b.kind == adios::BlockKind::kData) {
+          sharded_bytes += static_cast<std::size_t>(b.stored_bytes);
+        }
+      }
+    }
+  }
+  const auto fast_capacity = std::max<std::size_t>(
+      static_cast<std::size_t>(1.35 * static_cast<double>(sharded_bytes) /
+                               static_cast<double>(nodes)),
+      64ull << 10);
+  const std::size_t cache_mb_per_node =
+      std::max<std::size_t>(1, opt.cache_mb / nodes);
+  std::cout << "refactored payload " << sharded_bytes / 1024
+            << " KiB sharded; per-node fast tier " << fast_capacity / 1024
+            << " KiB, per-node cache " << cache_mb_per_node << " MiB\n\n";
+
+  const auto single =
+      run_fabric_config(ds, opt, staging, 1, fast_capacity, cache_mb_per_node);
+  const auto cluster = run_fabric_config(ds, opt, staging, nodes,
+                                         fast_capacity, cache_mb_per_node);
+
+  const double s = static_cast<double>(opt.sessions);
+  auto throughput = [&](const ClusterResult& r) {
+    return s * static_cast<double>(raw_bytes) / r.elapsed / 1e6;  // MB/s
+  };
+
+  util::Table t({"config", "io(s)", "decompress(s)", "restore(s)",
+                 "makespan(s)", "agg MB/s", "remote", "local", "fallback"});
+  for (const auto* r : {&single, &cluster}) {
+    t.add_row({r->label, util::Table::num(r->io, 4),
+               util::Table::num(r->decompress, 4),
+               util::Table::num(r->restore, 4),
+               util::Table::num(r->elapsed, 4),
+               util::Table::num(throughput(*r), 1),
+               std::to_string(r->stats.remote_reads),
+               std::to_string(r->stats.local_hits),
+               std::to_string(r->stats.replica_fallbacks)});
+  }
+  t.print(std::cout, "sharded fabric vs single node, per-session means (" +
+                         std::to_string(opt.sessions) + " sessions)");
+
+  bool identical = true;
+  for (const auto* r : {&single, &cluster}) {
+    for (const auto& f : r->fields) {
+      identical = identical && f.size() == single.fields.front().size() &&
+                  std::memcmp(f.data(), single.fields.front().data(),
+                              f.size() * sizeof(double)) == 0;
+    }
+  }
+  const double ratio = throughput(cluster) / throughput(single);
+  std::cout << "\nfields bitwise-identical across sessions and configs: "
+            << (identical ? "yes" : "NO") << "\n";
+  std::cout << "cluster remote reads: " << cluster.stats.remote_reads
+            << ", failed: " << cluster.stats.failed_remote_reads << "\n";
+  std::cout << "aggregate throughput (" << nodes << " nodes vs 1): "
+            << util::Table::num(ratio, 1) << "x\n";
+
+  std::cout << '\n';
+  bench::flush_observability(std::cout);
+
+  if (!identical || cluster.stats.remote_reads == 0 || ratio < 1.0) {
+    std::cout << "\nFAIL: expected remote reads, bitwise-identical fields, "
+                 "and cluster throughput >= single-node\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -159,6 +371,10 @@ int main(int argc, char** argv) {
   std::cout << "workload: xgc1 dpot plane, " << ds.values.size() << " values ("
             << raw_bytes / 1024 << " KiB raw), " << opt.sessions
             << " concurrent full-accuracy sessions per config\n\n";
+
+  const auto nodes = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, cli.get_int("nodes", 1)));
+  if (nodes >= 2) return run_cluster_bench(ds, opt, nodes);
 
   const auto off = run_config(ds, opt, false);
   const auto on = run_config(ds, opt, true);

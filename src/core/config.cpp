@@ -379,6 +379,52 @@ RuntimeConfig load_config(const std::string& xml_text) {
     }
     config.serve = sc;
   }
+
+  if (const auto* fabric_node = root->child("fabric")) {
+    fabric::FabricOptions fo;
+    if (fabric_node->has_attr("nodes")) {
+      fo.nodes = static_cast<std::size_t>(
+          parse_uint(fabric_node->attr("nodes"), "<fabric> attribute 'nodes'"));
+      CANOPUS_CHECK(fo.nodes >= 1, "<fabric> nodes must be >= 1");
+    }
+    if (fabric_node->has_attr("partition")) {
+      const std::string& p = fabric_node->attr("partition");
+      if (p == "hash") {
+        fo.partition = fabric::Partition::kHash;
+      } else if (p == "range" || p == "morton-range") {
+        fo.partition = fabric::Partition::kMortonRange;
+      } else {
+        throw Error("<fabric> unknown partition scheme: '" + p + "'");
+      }
+    }
+    if (fabric_node->has_attr("remote-us")) {
+      const double us = parse_double(fabric_node->attr("remote-us"),
+                                     "<fabric> attribute 'remote-us'");
+      CANOPUS_CHECK(us >= 0.0, "<fabric> remote-us must be >= 0");
+      fo.remote_latency_seconds = us / 1e6;
+    }
+    if (fabric_node->has_attr("remote-bw")) {
+      fo.remote_bandwidth = parse_rate(fabric_node->attr("remote-bw"));
+      CANOPUS_CHECK(fo.remote_bandwidth > 0.0, "<fabric> remote-bw must be > 0");
+    }
+    if (fabric_node->has_attr("eviction-high")) {
+      fo.eviction_high = parse_probability(fabric_node->attr("eviction-high"),
+                                           "eviction-high");
+    }
+    if (fabric_node->has_attr("eviction-low")) {
+      fo.eviction_low = parse_probability(fabric_node->attr("eviction-low"),
+                                          "eviction-low");
+    }
+    CANOPUS_CHECK(fo.eviction_high == 0.0 || fo.eviction_low <= fo.eviction_high,
+                  "<fabric> eviction-low must be <= eviction-high");
+    if (fabric_node->has_attr("eviction-interval")) {
+      fo.eviction_interval_seconds =
+          parse_duration(fabric_node->attr("eviction-interval"));
+      CANOPUS_CHECK(fo.eviction_interval_seconds > 0.0,
+                    "<fabric> eviction-interval must be > 0");
+    }
+    config.fabric = fo;
+  }
   return config;
 }
 

@@ -29,6 +29,9 @@
 //                    histogram-buckets="64"/>
 //     <serve workers="4" queue-limit="64" deadline-default="250ms"
 //            age-boost="4"/>
+//     <fabric nodes="4" partition="range" remote-us="200" remote-bw="1GB/s"
+//             eviction-high="0.9" eviction-low="0.75"
+//             eviction-interval="10ms"/>
 //   </canopus-config>
 //
 // Presets (tmpfs, nvram, ssd, burst-buffer, lustre, campaign) pull the
@@ -62,6 +65,15 @@
 // submissions are shed with kOverloaded), `deadline-default` is the
 // retrieval-cost budget of queries that name none, and `age-boost` the
 // priority points a waiting query gains per queued second.
+//
+// The optional <fabric> element describes a simulated multi-node serving
+// cluster (src/fabric): `nodes` is the node count, `partition` the chunk
+// ownership scheme ("range" = contiguous Morton ranges, "hash" = FNV-1a),
+// `remote-us` the per-message one-way latency in microseconds and
+// `remote-bw` the inter-node bandwidth of the remote-read envelope, and
+// `eviction-high`/`eviction-low`/`eviction-interval` the per-node
+// anticipatory eviction provider's watermarks (fractions of tier-0
+// capacity; high = 0 disables the provider).
 
 #include <optional>
 #include <string>
@@ -69,6 +81,7 @@
 
 #include "cache/block_cache.hpp"
 #include "core/types.hpp"
+#include "fabric/fabric_config.hpp"
 #include "obs/observability.hpp"
 #include "serve/serve_config.hpp"
 #include "storage/fault.hpp"
@@ -103,6 +116,12 @@ struct RuntimeConfig {
   /// Pipeline::submit_query falls back to ServeConfig defaults on first use.
   /// Forwarded by Pipeline::from_config.
   std::optional<canopus::serve::ServeConfig> serve;
+
+  /// Simulated-cluster shape from the optional <fabric> element; nullopt
+  /// means single-node serving. The loader only parses and validates the
+  /// options — constructing the fabric::Fabric (and importing a container
+  /// into it) is the application's call, since it needs tier specs per node.
+  std::optional<canopus::fabric::FabricOptions> fabric;
 
   /// Builds the configured hierarchy, with the fault injector attached and
   /// the retry policy applied when the document configured them.

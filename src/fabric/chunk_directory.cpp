@@ -1,0 +1,106 @@
+#include "fabric/chunk_directory.hpp"
+
+#include "util/assert.hpp"
+
+namespace canopus::fabric {
+
+ChunkDirectory::ChunkDirectory(std::size_t nodes, Partition partition)
+    : nodes_(nodes), partition_(partition) {
+  CANOPUS_CHECK(nodes_ >= 1, "directory needs at least one node");
+}
+
+std::uint32_t ChunkDirectory::hash_owner(const std::string& key,
+                                         std::size_t nodes) {
+  CANOPUS_ASSERT(nodes >= 1);
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a 64
+  for (const char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return static_cast<std::uint32_t>(h % nodes);
+}
+
+std::uint32_t ChunkDirectory::range_owner(std::uint32_t chunk,
+                                          std::uint32_t chunk_count,
+                                          std::size_t nodes) {
+  CANOPUS_ASSERT(nodes >= 1);
+  CANOPUS_ASSERT(chunk_count >= 1 && chunk < chunk_count);
+  // chunk < chunk_count gives owner <= (chunk_count-1)*nodes/chunk_count
+  // < nodes: total. The preimage of each owner is a contiguous interval:
+  // disjoint, and non-empty whenever nodes <= chunk_count.
+  return static_cast<std::uint32_t>(
+      static_cast<std::uint64_t>(chunk) * nodes / chunk_count);
+}
+
+std::optional<std::uint32_t> ChunkDirectory::replica_of(std::uint32_t owner,
+                                                        std::size_t nodes) {
+  if (nodes <= 1) return std::nullopt;
+  return static_cast<std::uint32_t>((owner + 1) % nodes);
+}
+
+std::uint32_t ChunkDirectory::owner_for(const std::string& key,
+                                        std::uint32_t chunk,
+                                        std::uint32_t chunk_count) const {
+  std::scoped_lock lock(mu_);
+  if (partition_ == Partition::kMortonRange && chunk_count > 1) {
+    return range_owner(chunk, chunk_count, nodes_);
+  }
+  return hash_owner(key, nodes_);
+}
+
+std::uint32_t ChunkDirectory::assign(const std::string& key,
+                                     std::uint32_t chunk,
+                                     std::uint32_t chunk_count,
+                                     std::size_t bytes) {
+  const std::uint32_t owner = owner_for(key, chunk, chunk_count);
+  std::scoped_lock lock(mu_);
+  entries_[key] = Entry{chunk, chunk_count, bytes, owner};
+  return owner;
+}
+
+std::optional<ChunkLocation> ChunkDirectory::lookup(
+    const std::string& key) const {
+  std::scoped_lock lock(mu_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return ChunkLocation{it->second.owner, replica_of(it->second.owner, nodes_)};
+}
+
+void ChunkDirectory::rebalance(std::size_t new_nodes) {
+  CANOPUS_CHECK(new_nodes >= 1, "rebalance needs at least one node");
+  std::scoped_lock lock(mu_);
+  nodes_ = new_nodes;
+  for (auto& [key, entry] : entries_) {
+    entry.owner = (partition_ == Partition::kMortonRange && entry.chunk_count > 1)
+                      ? range_owner(entry.chunk, entry.chunk_count, nodes_)
+                      : hash_owner(key, nodes_);
+  }
+}
+
+std::size_t ChunkDirectory::node_count() const {
+  std::scoped_lock lock(mu_);
+  return nodes_;
+}
+
+std::size_t ChunkDirectory::size() const {
+  std::scoped_lock lock(mu_);
+  return entries_.size();
+}
+
+std::vector<std::size_t> ChunkDirectory::owned_bytes() const {
+  return owned_bytes_for_prefix("");
+}
+
+std::vector<std::size_t> ChunkDirectory::owned_bytes_for_prefix(
+    const std::string& prefix) const {
+  std::scoped_lock lock(mu_);
+  std::vector<std::size_t> per_node(nodes_, 0);
+  // entries_ is ordered, so the matching keys form one contiguous range.
+  for (auto it = entries_.lower_bound(prefix); it != entries_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    per_node[it->second.owner] += it->second.bytes;
+  }
+  return per_node;
+}
+
+}  // namespace canopus::fabric

@@ -1,0 +1,99 @@
+#pragma once
+// Chunk -> owner-node directory of the serving fabric.
+//
+// Every sharded product block (base, delta chunk, plain data) has exactly
+// one owner node; with more than one node it also has a replica owner — the
+// next node in ring order, mirroring the intra-hierarchy replica placement
+// the storage layer already uses (StorageHierarchy::replicate_below). The
+// partition functions are pure and static so the property suite can assert
+// totality, disjointness, and coverage without building a cluster.
+//
+// Invariants (tests/fabric_test.cpp pins them):
+//   * totality — owner_for() maps every (key, chunk, chunk_count) to exactly
+//     one node index < nodes;
+//   * coverage — under kMortonRange with nodes <= chunk_count, every node
+//     owns at least one chunk, and the per-node ranges are contiguous and
+//     disjoint;
+//   * rebalance — after rebalance(n'), every recorded entry's owner equals
+//     owner_for() recomputed with n' nodes.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fabric/fabric_config.hpp"
+
+namespace canopus::fabric {
+
+/// Where a chunk lives: its owner node and (in multi-node fabrics) the node
+/// holding the replica copy under StorageHierarchy::replica_key.
+struct ChunkLocation {
+  std::uint32_t owner = 0;
+  std::optional<std::uint32_t> replica;
+};
+
+class ChunkDirectory {
+ public:
+  ChunkDirectory(std::size_t nodes, Partition partition);
+
+  /// FNV-1a of `key`, modulo `nodes`.
+  static std::uint32_t hash_owner(const std::string& key, std::size_t nodes);
+
+  /// Contiguous-range assignment: chunk c of chunk_count maps to
+  /// c * nodes / chunk_count. Total, disjoint, and covering for
+  /// nodes <= chunk_count.
+  static std::uint32_t range_owner(std::uint32_t chunk,
+                                   std::uint32_t chunk_count,
+                                   std::size_t nodes);
+
+  /// Ring replica placement: the next node after `owner`, or nullopt when
+  /// the fabric has a single node.
+  static std::optional<std::uint32_t> replica_of(std::uint32_t owner,
+                                                 std::size_t nodes);
+
+  /// The owner this directory's partition assigns (pure; does not record).
+  /// kMortonRange falls back to hash_owner for single-chunk block groups
+  /// (bases, plain data) so those still spread across the fabric.
+  std::uint32_t owner_for(const std::string& key, std::uint32_t chunk,
+                          std::uint32_t chunk_count) const;
+
+  /// Records `key` and returns its owner.
+  std::uint32_t assign(const std::string& key, std::uint32_t chunk,
+                       std::uint32_t chunk_count, std::size_t bytes);
+
+  /// Location of a recorded key, or nullopt for unknown keys.
+  std::optional<ChunkLocation> lookup(const std::string& key) const;
+
+  /// Recomputes every recorded entry's owner for a new node count (elastic
+  /// grow/shrink). The fabric must re-shard the stored objects to match;
+  /// the directory only answers "who should own this now".
+  void rebalance(std::size_t new_nodes);
+
+  std::size_t node_count() const;
+  std::size_t size() const;
+
+  /// Bytes owned per node across all recorded entries.
+  std::vector<std::size_t> owned_bytes() const;
+  /// Bytes owned per node among entries whose key starts with `prefix` —
+  /// the affinity signal the query router uses.
+  std::vector<std::size_t> owned_bytes_for_prefix(
+      const std::string& prefix) const;
+
+ private:
+  struct Entry {
+    std::uint32_t chunk = 0;
+    std::uint32_t chunk_count = 1;
+    std::size_t bytes = 0;
+    std::uint32_t owner = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::size_t nodes_;
+  Partition partition_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace canopus::fabric

@@ -1,0 +1,352 @@
+#include "fabric/fabric.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "adios/bp.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "storage/tier.hpp"
+#include "util/assert.hpp"
+
+namespace canopus::fabric {
+
+namespace {
+
+void count_fabric(const char* what, std::uint64_t n = 1) {
+  if (obs::enabled()) {
+    obs::MetricsRegistry::global()
+        .counter(std::string("fabric.") + what)
+        .add(n);
+  }
+}
+
+bool sharded_kind(adios::BlockKind kind) {
+  return kind == adios::BlockKind::kBase || kind == adios::BlockKind::kDelta ||
+         kind == adios::BlockKind::kData;
+}
+
+}  // namespace
+
+Fabric::Fabric(FabricOptions options, std::vector<storage::TierSpec> node_tiers,
+               storage::PlacementPolicy policy)
+    : options_(options), directory_(options.nodes, options.partition) {
+  CANOPUS_CHECK(options_.nodes >= 1, "fabric needs at least one node");
+  CANOPUS_CHECK(options_.remote_latency_seconds >= 0.0 &&
+                    options_.remote_bandwidth > 0.0,
+                "fabric: remote envelope must be non-negative latency and "
+                "positive bandwidth");
+  nodes_.reserve(options_.nodes);
+  for (std::size_t i = 0; i < options_.nodes; ++i) {
+    nodes_.push_back(std::make_unique<Node>(node_tiers, policy));
+    nodes_[i]->remote = std::make_unique<NodeRemoteStore>(*this, i);
+    nodes_[i]->hierarchy.attach_remote_store(nodes_[i]->remote.get());
+  }
+  if (options_.eviction_high > 0.0) start_eviction_providers();
+}
+
+Fabric::~Fabric() { stop_eviction_providers(); }
+
+storage::StorageHierarchy& Fabric::node(std::size_t i) {
+  CANOPUS_CHECK(i < nodes_.size(), "fabric: node index out of range");
+  return nodes_[i]->hierarchy;
+}
+
+void Fabric::attach_node_caches(const cache::CacheConfig& per_node) {
+  for (auto& n : nodes_) {
+    n->hierarchy.attach_block_cache(std::make_shared<cache::BlockCache>(per_node));
+  }
+}
+
+cache::BlockCache* Fabric::node_cache(std::size_t i) {
+  CANOPUS_CHECK(i < nodes_.size(), "fabric: node index out of range");
+  return nodes_[i]->hierarchy.block_cache();
+}
+
+ImportReport Fabric::import_container(storage::StorageHierarchy& staging,
+                                      const std::string& path) {
+  const adios::BpReader reader(staging, path);
+  std::vector<adios::BlockRecord> records;
+  for (const auto& var : reader.variables()) {
+    const auto info = reader.inq_var(var);
+    records.insert(records.end(), info.blocks.begin(), info.blocks.end());
+  }
+  // Placement order decides who wins the fast tiers when a node cannot hold
+  // its whole shard: primaries (bases first) beat replica copies beat
+  // geometry, which is only read when no GeometryCache is provided.
+  std::stable_sort(records.begin(), records.end(),
+                   [](const adios::BlockRecord& a, const adios::BlockRecord& b) {
+                     auto rank = [](const adios::BlockRecord& r) {
+                       if (r.kind == adios::BlockKind::kBase) return 0;
+                       return sharded_kind(r.kind) ? 1 : 2;
+                     };
+                     return rank(a) < rank(b);
+                   });
+
+  ImportReport report;
+  report.blocks = records.size();
+
+  // The metadata object is tiny and opens every BpReader: every node keeps it.
+  const auto meta_key = adios::metadata_key(path);
+  util::Bytes meta;
+  staging.read(meta_key, meta);
+  for (auto& n : nodes_) {
+    n->hierarchy.place(meta_key, meta);
+    ++report.replicated;
+  }
+
+  util::Bytes bytes;
+  for (const auto& r : records) {
+    staging.read(r.object_key, bytes);
+    if (sharded_kind(r.kind)) {
+      const auto owner =
+          directory_.assign(r.object_key, r.chunk, r.chunk_count, bytes.size());
+      nodes_[owner]->hierarchy.place(r.object_key, bytes);
+      ++report.sharded;
+      report.sharded_bytes += bytes.size();
+    } else {
+      for (auto& n : nodes_) {
+        n->hierarchy.place(r.object_key, bytes);
+        ++report.replicated;
+      }
+    }
+  }
+
+  // Replica pass after every primary is placed (best-effort, like
+  // replicate_below: a replica that does not fit is skipped, never fatal).
+  if (nodes_.size() > 1) {
+    for (const auto& r : records) {
+      if (!sharded_kind(r.kind)) continue;
+      const auto loc = directory_.lookup(r.object_key);
+      CANOPUS_ASSERT(loc.has_value() && loc->replica.has_value());
+      staging.read(r.object_key, bytes);
+      try {
+        nodes_[*loc->replica]->hierarchy.place(
+            storage::StorageHierarchy::replica_key(r.object_key), bytes);
+        ++report.replicas;
+      } catch (const storage::CapacityError&) {
+      }
+    }
+  }
+  return report;
+}
+
+void Fabric::kill_node(std::size_t i) {
+  CANOPUS_CHECK(i < nodes_.size(), "fabric: node index out of range");
+  nodes_[i]->alive.store(false, std::memory_order_relaxed);
+  // Dead storage, not just dead routing: every tier read on the node now
+  // fails, so a request that raced the alive check still degrades to the
+  // replica owner instead of being served by a "dead" node.
+  auto injector = std::make_shared<storage::FaultInjector>(
+      0x6b696c6cull ^ static_cast<std::uint64_t>(i));
+  storage::FaultProfile profile;
+  profile.read_error = 1.0;
+  for (std::size_t t = 0; t < nodes_[i]->hierarchy.tier_count(); ++t) {
+    injector->set_profile(t, profile);
+  }
+  nodes_[i]->hierarchy.attach_fault_injector(std::move(injector));
+  count_fabric("node_kills");
+}
+
+void Fabric::revive_node(std::size_t i) {
+  CANOPUS_CHECK(i < nodes_.size(), "fabric: node index out of range");
+  nodes_[i]->hierarchy.attach_fault_injector(nullptr);
+  nodes_[i]->alive.store(true, std::memory_order_relaxed);
+}
+
+bool Fabric::alive(std::size_t i) const {
+  CANOPUS_CHECK(i < nodes_.size(), "fabric: node index out of range");
+  return nodes_[i]->alive.load(std::memory_order_relaxed);
+}
+
+std::uint32_t Fabric::route_query(const std::string& path,
+                                  const std::string& var) const {
+  const auto per_node = directory_.owned_bytes_for_prefix(path + "/" + var + "/");
+  std::optional<std::uint32_t> best;
+  std::size_t best_bytes = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (!alive(i)) continue;
+    const std::size_t owned = i < per_node.size() ? per_node[i] : 0;
+    if (!best.has_value() || owned > best_bytes) {
+      best = static_cast<std::uint32_t>(i);
+      best_bytes = owned;
+    }
+  }
+  return best.value_or(0);
+}
+
+storage::IoResult Fabric::remote_read_from(std::size_t from_node,
+                                           const std::string& key,
+                                           util::Bytes& out) {
+  CANOPUS_SPAN("fabric.remote_read", {{"node", static_cast<int>(from_node)}});
+  const auto loc = directory_.lookup(key);
+  if (!loc.has_value()) {
+    failed_remote_reads_.fetch_add(1, std::memory_order_relaxed);
+    count_fabric("failed_remote_reads");
+    throw storage::TierIoError("fabric: no directory entry for '" + key + "'");
+  }
+  const auto envelope = [this](storage::IoResult io, std::size_t bytes) {
+    io.sim_seconds += options_.remote_latency_seconds +
+                      static_cast<double>(bytes) / options_.remote_bandwidth;
+    return io;
+  };
+  if (loc->owner != from_node &&
+      nodes_[loc->owner]->alive.load(std::memory_order_relaxed)) {
+    try {
+      auto io = nodes_[loc->owner]->hierarchy.read(key, out);
+      remote_reads_.fetch_add(1, std::memory_order_relaxed);
+      count_fabric("remote_reads");
+      return envelope(io, out.size());
+    } catch (const Error&) {
+      // Owner unreachable (killed mid-flight, or its copy faulted out after
+      // retries): degrade to the replica owner.
+    }
+  }
+  if (loc->replica.has_value() &&
+      nodes_[*loc->replica]->alive.load(std::memory_order_relaxed)) {
+    const std::size_t r = *loc->replica;
+    try {
+      auto io = nodes_[r]->hierarchy.read(
+          storage::StorageHierarchy::replica_key(key), out);
+      io.from_replica = true;
+      replica_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+      count_fabric("replica_fallbacks");
+      return r == from_node ? io : envelope(io, out.size());
+    } catch (const Error&) {
+    }
+  }
+  failed_remote_reads_.fetch_add(1, std::memory_order_relaxed);
+  count_fabric("failed_remote_reads");
+  throw storage::TierIoError("fabric: no reachable copy of '" + key +
+                             "' (owner node " + std::to_string(loc->owner) +
+                             " unavailable)");
+}
+
+void Fabric::note_local_hit(std::size_t node, const std::string& key) {
+  (void)node;
+  (void)key;
+  local_hits_.fetch_add(1, std::memory_order_relaxed);
+  count_fabric("local_hits");
+}
+
+double Fabric::estimated_remote_cost(std::size_t from_node,
+                                     const std::string& key,
+                                     std::size_t bytes) const {
+  const double envelope =
+      options_.remote_latency_seconds +
+      static_cast<double>(bytes) / options_.remote_bandwidth;
+  if (const auto loc = directory_.lookup(key)) {
+    if (loc->owner != from_node &&
+        nodes_[loc->owner]->alive.load(std::memory_order_relaxed)) {
+      const auto& h = nodes_[loc->owner]->hierarchy;
+      if (const auto t = h.find(key)) {
+        return h.tier(*t).read_cost(bytes) + envelope;
+      }
+    }
+    if (loc->replica.has_value() &&
+        nodes_[*loc->replica]->alive.load(std::memory_order_relaxed)) {
+      const std::size_t r = *loc->replica;
+      const auto& h = nodes_[r]->hierarchy;
+      const auto rkey = storage::StorageHierarchy::replica_key(key);
+      if (const auto t = h.find(rkey)) {
+        return h.tier(*t).read_cost(bytes) +
+               (r == from_node ? 0.0 : envelope);
+      }
+    }
+  }
+  // Unknown or unreachable key: pessimistic — a slowest-tier fetch plus the
+  // network hop, so planning never undercounts a degraded resolution.
+  const auto& h = nodes_[from_node]->hierarchy;
+  return h.tier(h.tier_count() - 1).read_cost(bytes) + envelope;
+}
+
+Fabric::Stats Fabric::stats() const {
+  Stats s;
+  s.local_hits = local_hits_.load(std::memory_order_relaxed);
+  s.remote_reads = remote_reads_.load(std::memory_order_relaxed);
+  s.replica_fallbacks = replica_fallbacks_.load(std::memory_order_relaxed);
+  s.failed_remote_reads = failed_remote_reads_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Fabric::update_occupancy_gauges() const {
+  if (!obs::enabled()) return;
+  auto& registry = obs::MetricsRegistry::global();
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const auto& h = nodes_[i]->hierarchy;
+    for (std::size_t t = 0; t < h.tier_count(); ++t) {
+      const auto [used, capacity] = h.tier_usage(t);
+      (void)capacity;
+      registry
+          .gauge("fabric.node" + std::to_string(i) + ".tier" +
+                 std::to_string(t) + "_used_bytes")
+          .set(static_cast<std::int64_t>(used));
+    }
+  }
+}
+
+void Fabric::start_eviction_providers() {
+  {
+    std::scoped_lock lock(provider_mu_);
+    if (providers_running_) return;
+    stop_providers_ = false;
+    providers_running_ = true;
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    nodes_[i]->provider = std::thread([this, i] { provider_loop(i); });
+  }
+}
+
+void Fabric::stop_eviction_providers() {
+  {
+    std::scoped_lock lock(provider_mu_);
+    if (!providers_running_) return;
+    stop_providers_ = true;
+  }
+  provider_cv_.notify_all();
+  for (auto& n : nodes_) {
+    if (n->provider.joinable()) n->provider.join();
+  }
+  std::scoped_lock lock(provider_mu_);
+  providers_running_ = false;
+}
+
+void Fabric::provider_loop(std::size_t node_index) {
+  std::unique_lock lock(provider_mu_);
+  for (;;) {
+    provider_cv_.wait_for(
+        lock, std::chrono::duration<double>(options_.eviction_interval_seconds),
+        [this] { return stop_providers_; });
+    if (stop_providers_) return;
+    lock.unlock();
+    tick_eviction(node_index);
+    lock.lock();
+  }
+}
+
+void Fabric::tick_eviction(std::size_t node_index) {
+  auto& h = nodes_[node_index]->hierarchy;
+  update_occupancy_gauges();
+  if (h.tier_count() < 2) return;
+  const auto [used, capacity] = h.tier_usage(0);
+  if (capacity == 0 ||
+      static_cast<double>(used) <= options_.eviction_high * capacity) {
+    return;
+  }
+  const double low =
+      std::clamp(options_.eviction_low, 0.0, options_.eviction_high);
+  const auto target_free =
+      static_cast<std::size_t>((1.0 - low) * static_cast<double>(capacity));
+  try {
+    const auto demoted = h.make_room(0, target_free);
+    if (!demoted.empty()) {
+      evictions_.fetch_add(demoted.size(), std::memory_order_relaxed);
+      count_fabric("evictions", demoted.size());
+    }
+  } catch (const Error&) {
+    // Lower tiers full or nothing demotable; leave it for the next tick.
+  }
+}
+
+}  // namespace canopus::fabric

@@ -1,0 +1,183 @@
+#pragma once
+// Sharded multi-node serving fabric (simulated cluster).
+//
+// Canopus's elasticity story assumes analytics draw on the aggregate
+// DRAM+SSD of many nodes, not one process's tiers. The Fabric models that:
+// N nodes in one process, each owning a StorageHierarchy (its slice of the
+// cluster's tiered memory) plus an optional BlockCache, with refactored
+// products sharded across them by a ChunkDirectory. The shape follows
+// ScaleStore's buffer manager — partitioned ownership, message-channel
+// remote access, and a background page-provider per node:
+//
+//   * import_container() shards a written BP container: base/delta/data
+//     blocks go to their directory owner (plus a replica copy on the ring
+//     successor, reusing the storage layer's replica-key machinery), while
+//     metadata and geometry blocks are small and read-mostly, so every node
+//     keeps a full copy.
+//   * Each node's hierarchy gets a RemoteStore adapter: a local miss
+//     resolves through the directory to the owner node, paying a
+//     configurable network envelope (remote-us latency + remote-bw
+//     bandwidth) on the simulated clock. A dead or faulting owner degrades
+//     to the replica owner transparently — readers just see
+//     IoResult::from_replica, exactly like an intra-hierarchy fallback.
+//   * An anticipatory-eviction provider per node watches the fastest tier
+//     and demotes LRU blocks down-tier once occupancy crosses the high
+//     watermark, so steady-state serving never stalls on a full fast tier.
+//
+// Everything above the hierarchy — ProgressiveReader, ReadSession,
+// serve::QueryScheduler — works against a node unchanged; remote resolution
+// is transparent. Counters: fabric.local_hits counts every read served from
+// a node's own tiers or cache (at the serving node), fabric.remote_reads /
+// fabric.replica_fallbacks count fabric resolutions, so one remote read
+// increments remote_reads once and local_hits once (the serve on the owner).
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cache/block_cache.hpp"
+#include "fabric/chunk_directory.hpp"
+#include "fabric/fabric_config.hpp"
+#include "storage/hierarchy.hpp"
+
+namespace canopus::fabric {
+
+/// What import_container() distributed.
+struct ImportReport {
+  std::size_t blocks = 0;         // blocks in the container
+  std::size_t sharded = 0;        // base/delta/data blocks sent to one owner
+  std::size_t replicated = 0;     // metadata/geometry copies across nodes
+  std::size_t replicas = 0;       // cross-node replica copies actually placed
+  std::size_t sharded_bytes = 0;  // payload bytes of the sharded blocks
+};
+
+class Fabric {
+ public:
+  /// Every node gets the same tier stack (`node_tiers`) and placement
+  /// policy. Eviction providers start automatically when
+  /// options.eviction_high > 0.
+  Fabric(FabricOptions options, std::vector<storage::TierSpec> node_tiers,
+         storage::PlacementPolicy policy = storage::PlacementPolicy::kFastestFit);
+  ~Fabric();
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  std::size_t node_count() const { return nodes_.size(); }
+  storage::StorageHierarchy& node(std::size_t i);
+  const FabricOptions& options() const { return options_; }
+  ChunkDirectory& directory() { return directory_; }
+  const ChunkDirectory& directory() const { return directory_; }
+
+  /// Attaches an independent BlockCache with this budget/sharding to every
+  /// node — each node caches its own reads, including bytes it pulled from
+  /// a peer (so repeat remote reads are served locally).
+  void attach_node_caches(const cache::CacheConfig& per_node);
+  cache::BlockCache* node_cache(std::size_t i);
+
+  /// Shards a container that was refactored into `staging` across the
+  /// fabric. Sharded kinds (kBase, kDelta, kData) land on their directory
+  /// owner's fastest fitting tier, then replica copies on the ring
+  /// successor (best-effort, like replicate_below); metadata and geometry
+  /// (kMesh, kMapping, kChunkIndex) are replicated to every node.
+  ImportReport import_container(storage::StorageHierarchy& staging,
+                                const std::string& path);
+
+  /// Simulated node failure: the node drops out of routing and remote
+  /// resolution, and every tier read on it fails (a full-rate fault
+  /// injector), so in-flight requests degrade to replica owners too.
+  void kill_node(std::size_t i);
+  void revive_node(std::size_t i);
+  bool alive(std::size_t i) const;
+
+  /// Affinity routing for the query scheduler: the alive node owning the
+  /// most bytes of (path, var), falling back to the first alive node (or 0
+  /// when everything is down — the query then fails like any read would).
+  std::uint32_t route_query(const std::string& path,
+                            const std::string& var) const;
+
+  void start_eviction_providers();
+  void stop_eviction_providers();
+
+  /// Monotonic fabric-wide counters, independent of the obs layer so tests
+  /// can assert exact accounting with observability disabled.
+  struct Stats {
+    std::uint64_t local_hits = 0;          // serves from a node's own store
+    std::uint64_t remote_reads = 0;        // resolved from the owner node
+    std::uint64_t replica_fallbacks = 0;   // resolved from the replica owner
+    std::uint64_t failed_remote_reads = 0; // no reachable copy
+    std::uint64_t evictions = 0;           // provider demotions
+  };
+  Stats stats() const;
+
+  /// Publishes per-node fast-tier occupancy gauges
+  /// (fabric.node<i>.tier0_used_bytes); the providers also refresh them.
+  void update_occupancy_gauges() const;
+
+  /// Planning estimate of resolving `key` from node `from_node`: the
+  /// serving peer's tier cost plus the network envelope. Pessimistic
+  /// (slowest-tier + envelope) for unknown keys.
+  double estimated_remote_cost(std::size_t from_node, const std::string& key,
+                               std::size_t bytes) const;
+
+ private:
+  /// The per-node storage::RemoteStore adapter the node's hierarchy calls.
+  class NodeRemoteStore : public storage::RemoteStore {
+   public:
+    NodeRemoteStore(Fabric& fabric, std::size_t node)
+        : fabric_(fabric), node_(node) {}
+    storage::IoResult remote_read(const std::string& key,
+                                  util::Bytes& out) override {
+      return fabric_.remote_read_from(node_, key, out);
+    }
+    double estimated_read_cost(const std::string& key,
+                               std::size_t bytes) const override {
+      return fabric_.estimated_remote_cost(node_, key, bytes);
+    }
+    void note_local_hit(const std::string& key) override {
+      fabric_.note_local_hit(node_, key);
+    }
+
+   private:
+    Fabric& fabric_;
+    std::size_t node_;
+  };
+
+  struct Node {
+    Node(std::vector<storage::TierSpec> specs, storage::PlacementPolicy policy)
+        : hierarchy(std::move(specs), policy) {}
+    storage::StorageHierarchy hierarchy;
+    std::unique_ptr<NodeRemoteStore> remote;
+    std::atomic<bool> alive{true};
+    std::thread provider;
+  };
+
+  storage::IoResult remote_read_from(std::size_t from_node,
+                                     const std::string& key, util::Bytes& out);
+  void note_local_hit(std::size_t node, const std::string& key);
+  void provider_loop(std::size_t node_index);
+  void tick_eviction(std::size_t node_index);
+
+  const FabricOptions options_;
+  ChunkDirectory directory_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+
+  std::mutex provider_mu_;
+  std::condition_variable provider_cv_;
+  bool providers_running_ = false;
+  bool stop_providers_ = false;
+
+  std::atomic<std::uint64_t> local_hits_{0};
+  std::atomic<std::uint64_t> remote_reads_{0};
+  std::atomic<std::uint64_t> replica_fallbacks_{0};
+  std::atomic<std::uint64_t> failed_remote_reads_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+}  // namespace canopus::fabric

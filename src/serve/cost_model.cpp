@@ -86,9 +86,22 @@ CostModel CostModel::build(storage::StorageHierarchy& hierarchy,
     if (residency.blob || residency.decoded) {
       ++step.cached_blocks;  // I/O free: the blob never leaves the cache
     } else {
-      step.io_seconds +=
-          tier_factors[b.tier] *
-          hierarchy.tier(b.tier).read_cost(static_cast<std::size_t>(b.stored_bytes));
+      const auto stored = static_cast<std::size_t>(b.stored_bytes);
+      // The record's tier index describes where the *writer* placed the
+      // block — on a fabric node that may be another node's hierarchy
+      // entirely, and even locally eviction may have demoted it. Charge the
+      // tier that actually holds the block; a block no local tier holds is
+      // remote-resident, and pretending its record tier were local would
+      // undercount the network envelope and overplan the reachable level.
+      if (const auto local = hierarchy.find(b.object_key)) {
+        step.io_seconds +=
+            tier_factors[*local] * hierarchy.tier(*local).read_cost(stored);
+      } else if (const auto* remote = hierarchy.remote_store()) {
+        step.io_seconds += remote->estimated_read_cost(b.object_key, stored);
+      } else {
+        step.io_seconds +=
+            tier_factors[b.tier] * hierarchy.tier(b.tier).read_cost(stored);
+      }
     }
     if (!residency.decoded) {
       step.compute_seconds +=

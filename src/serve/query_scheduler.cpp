@@ -6,6 +6,7 @@
 #include <limits>
 #include <utility>
 
+#include "fabric/fabric.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "storage/blob_frame.hpp"
@@ -246,20 +247,30 @@ QueryOutcome QueryScheduler::run_query(QueryRequest request,
         .histogram("serve.queue_wait_us")
         .observe(queue_seconds * 1e6);
   }
-  CANOPUS_SPAN("serve.query",
-               {{"var", request.var}, {"priority", request.priority}});
+  // Fabric dispatch: route to the shard with the most bytes of this
+  // variable; the node's hierarchy resolves the rest of the chunks remotely.
+  storage::StorageHierarchy* hierarchy = &hierarchy_;
+  int shard = -1;
+  if (auto* fabric = fabric_.load(std::memory_order_acquire)) {
+    shard = static_cast<int>(fabric->route_query(request.path, request.var));
+    hierarchy = &fabric->node(static_cast<std::size_t>(shard));
+    count_serve("fabric_dispatches");
+  }
+  CANOPUS_SPAN("serve.query", {{"var", request.var},
+                               {"priority", request.priority},
+                               {"shard", shard}});
   try {
     core::ReaderOptions reader_options;
     reader_options.parallel = parallel_;
     if (session_pool_ != nullptr) reader_options.shared_pool = session_pool_;
-    core::ProgressiveReader reader(hierarchy_, request.path, request.var,
+    core::ProgressiveReader reader(*hierarchy, request.path, request.var,
                                    request.geometry, reader_options);
 
     const double deadline =
         request.deadline_seconds.value_or(config_.default_deadline_seconds);
     const auto coarsest = static_cast<std::uint32_t>(reader.level_count() - 1);
     const std::uint32_t target = std::min(request.target_level, coarsest);
-    const CostModel model = CostModel::build(hierarchy_, reader, &calibration_);
+    const CostModel model = CostModel::build(*hierarchy, reader, &calibration_);
     const core::RetrievalTimings at_open = reader.cumulative();
     // The base retrieval already spent part of the budget; plan the reachable
     // level with what is left. Even a budget the base alone exceeded serves

@@ -49,6 +49,10 @@
 #include "serve/cost_model.hpp"
 #include "serve/serve_config.hpp"
 
+namespace canopus::fabric {
+class Fabric;
+}  // namespace canopus::fabric
+
 namespace canopus::serve {
 
 /// One analytics query: which variable, how accurate, by when, how urgent.
@@ -125,6 +129,17 @@ class QueryScheduler {
   void pause();
   void resume();
 
+  /// Dispatches subsequent queries across the fabric's shards: each query
+  /// runs against the alive node owning the most bytes of its variable
+  /// (Fabric::route_query), with remote chunks resolved transparently and
+  /// the cost model charging the network envelope for them. The fabric must
+  /// outlive the scheduler; pass nullptr to fall back to the constructor's
+  /// hierarchy. Safe to call while queries are in flight (they pick up the
+  /// new routing on their next dispatch).
+  void attach_fabric(fabric::Fabric* fabric) {
+    fabric_.store(fabric, std::memory_order_release);
+  }
+
   struct Stats {
     std::uint64_t submitted = 0;
     std::uint64_t admitted = 0;
@@ -161,6 +176,7 @@ class QueryScheduler {
   const ServeConfig config_;
   const core::ParallelConfig parallel_;
   util::ThreadPool* session_pool_;  // not owned; may be null
+  std::atomic<fabric::Fabric*> fabric_{nullptr};  // not owned; may be null
   Calibration calibration_;
 
   mutable std::mutex mu_;

@@ -152,6 +152,9 @@ IoResult StorageHierarchy::read(const std::string& key, util::Bytes& out) const 
   // The single-flight leader pays the true tier cost; hits and piggybacked
   // waiters are served from memory at zero simulated cost.
   if (result.source == cache::BlockCache::Source::kLoaded) return leader_io;
+  // A cache hit is a local serve: the bytes never left this node, whichever
+  // node originally faulted them in.
+  if (remote_ != nullptr) remote_->note_local_hit(key);
   IoResult io;
   io.bytes = out.size();
   io.from_cache = true;
@@ -160,21 +163,34 @@ IoResult StorageHierarchy::read(const std::string& key, util::Bytes& out) const 
 
 IoResult StorageHierarchy::read_uncached(const std::string& key,
                                          util::Bytes& out) const {
+  {
+    std::scoped_lock lock(mu_);
+    const auto where = find(key);
+    if (where.has_value()) return read_local(*where, key, out);
+    CANOPUS_CHECK(remote_ != nullptr, "object '" + key + "' not in hierarchy");
+  }
+  // Local miss with a remote store attached: resolve across the fabric.
+  // Deliberately outside mu_ — the remote owner takes its own hierarchy
+  // lock, and two nodes reading from each other must never hold both.
+  return remote_->remote_read(key, out);
+}
+
+IoResult StorageHierarchy::read_local(std::size_t where, const std::string& key,
+                                      util::Bytes& out) const {
   std::scoped_lock lock(mu_);
-  const auto where = find(key);
-  CANOPUS_CHECK(where.has_value(), "object '" + key + "' not in hierarchy");
   touch(key);
   IoResult acc;
   std::exception_ptr error;
-  if (read_attempts(*where, key, out, acc, error)) {
+  if (read_attempts(where, key, out, acc, error)) {
     if (obs::enabled() && acc.retries > 0) {
       obs::MetricsRegistry::global().counter("hierarchy.retries").add(acc.retries);
     }
-    CANOPUS_CHECK(out.size() == tiers_[*where]->object_size(key),
+    CANOPUS_CHECK(out.size() == tiers_[where]->object_size(key),
                   "short read of '" + key + "': got " +
                       std::to_string(out.size()) + " of " +
-                      std::to_string(tiers_[*where]->object_size(key)) +
+                      std::to_string(tiers_[where]->object_size(key)) +
                       " bytes");
+    if (remote_ != nullptr) remote_->note_local_hit(key);
     return acc;
   }
   // Primary copy exhausted its attempts: fall back to the replica, if any.
@@ -189,6 +205,7 @@ IoResult StorageHierarchy::read_uncached(const std::string& key,
     }
     CANOPUS_CHECK(out.size() == tiers_[*rtier]->object_size(rkey),
                   "short read of replica '" + rkey + "'");
+    if (remote_ != nullptr) remote_->note_local_hit(key);
     return acc;
   }
   CANOPUS_ASSERT(error != nullptr);
@@ -227,6 +244,18 @@ void StorageHierarchy::attach_block_cache(
     std::shared_ptr<cache::BlockCache> cache) {
   std::scoped_lock lock(mu_);
   cache_ = std::move(cache);
+}
+
+void StorageHierarchy::attach_remote_store(RemoteStore* remote) {
+  std::scoped_lock lock(mu_);
+  remote_ = remote;
+}
+
+std::pair<std::size_t, std::size_t> StorageHierarchy::tier_usage(
+    std::size_t i) const {
+  std::scoped_lock lock(mu_);
+  CANOPUS_ASSERT(i < tiers_.size());
+  return {tiers_[i]->used_bytes(), tiers_[i]->spec().capacity_bytes};
 }
 
 std::string StorageHierarchy::decoded_alias(const std::string& key) {

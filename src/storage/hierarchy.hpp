@@ -28,6 +28,31 @@ class CapacityError : public Error {
   explicit CapacityError(const std::string& what) : Error(what) {}
 };
 
+/// Resolver for objects that are not on any local tier — the hook the
+/// cluster fabric (src/fabric) plugs in so N node-local hierarchies behave
+/// like one aggregate store. StorageHierarchy::read() consults it on a local
+/// miss, *outside* the hierarchy lock: the remote owner takes its own lock,
+/// and two nodes reading from each other must never hold both at once.
+class RemoteStore {
+ public:
+  virtual ~RemoteStore() = default;
+
+  /// Resolves `key` from whichever peer holds it and returns the I/O result
+  /// including the network envelope. Called only after a local miss; throws
+  /// TierIoError when no reachable peer has a copy.
+  virtual IoResult remote_read(const std::string& key, util::Bytes& out) = 0;
+
+  /// Planning estimate of remote_read()'s simulated cost for a `bytes`-sized
+  /// object (owner tier cost + network envelope). No side effects: the serve
+  /// cost model calls this per block while planning.
+  virtual double estimated_read_cost(const std::string& key,
+                                     std::size_t bytes) const = 0;
+
+  /// Notification that a read of `key` was served from local storage (one
+  /// per successful serve, after the bytes are in hand). Default no-op.
+  virtual void note_local_hit(const std::string& key) { (void)key; }
+};
+
 enum class PlacementPolicy : std::uint8_t {
   kFastestFit,   // paper default: fastest tier with room, bypass when full
   kSlowestOnly,  // everything on the last tier (the "no hierarchy" baseline)
@@ -58,6 +83,7 @@ class StorageHierarchy {
         faults_(std::move(o.faults_)),
         retry_(o.retry_),
         cache_(std::move(o.cache_)),
+        remote_(o.remote_),
         round_robin_next_(o.round_robin_next_),
         access_clock_(o.access_clock_),
         last_access_(std::move(o.last_access_)) {}
@@ -68,6 +94,10 @@ class StorageHierarchy {
   std::size_t tier_count() const { return tiers_.size(); }
   StorageTier& tier(std::size_t i) { return *tiers_[i]; }
   const StorageTier& tier(std::size_t i) const { return *tiers_[i]; }
+
+  /// Locked (used, capacity) snapshot of tier `i` — safe to call from a
+  /// background maintenance thread while readers and writers are active.
+  std::pair<std::size_t, std::size_t> tier_usage(std::size_t i) const;
 
   /// Index of the tier the policy would choose for an object of this size,
   /// or nullopt when nothing fits.
@@ -160,12 +190,26 @@ class StorageHierarchy {
   /// entries without knowing who decoded them.
   static std::string decoded_alias(const std::string& key);
 
+  // --- Cluster fabric (remote resolution of local misses). -----------------
+
+  /// Attaches a resolver consulted by read() when no local tier holds the
+  /// key (src/fabric plugs each node's peer-lookup in here). Not owned; must
+  /// outlive the hierarchy. Pass nullptr to detach. With a remote store
+  /// attached, a read of an unknown key raises whatever the resolver raises
+  /// instead of the "not in hierarchy" error.
+  void attach_remote_store(RemoteStore* remote);
+  RemoteStore* remote_store() const { return remote_; }
+
  private:
   /// The pre-cache read path: placement lookup, retry loop, replica
   /// fallback. read() delegates here on a cache miss (or when no cache is
   /// attached).
   IoResult read_uncached(const std::string& key, util::Bytes& out) const;
 
+  /// The locked local part of read_uncached: retry loop + replica fallback
+  /// for a key some tier holds. Caller verified `where` under the same lock.
+  IoResult read_local(std::size_t where, const std::string& key,
+                      util::Bytes& out) const;
 
   void touch(const std::string& key) const;
   /// One bounded attempt loop against the copy of `key` on `tier`; folds
@@ -188,6 +232,7 @@ class StorageHierarchy {
   std::shared_ptr<FaultInjector> faults_;
   RetryPolicy retry_;
   std::shared_ptr<cache::BlockCache> cache_;
+  RemoteStore* remote_ = nullptr;  // not owned; see attach_remote_store
   mutable std::size_t round_robin_next_ = 0;
   // LRU bookkeeping: monotone clock, last-access stamp per key.
   mutable std::uint64_t access_clock_ = 0;

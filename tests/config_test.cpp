@@ -349,3 +349,54 @@ TEST(Config, ServeDefaultsAndValidation) {
       config_error(wrap("<serve workers=\"two\"/>"));
   EXPECT_NE(bad_workers.find("workers"), std::string::npos) << bad_workers;
 }
+
+// ----------------------------------------------------------------- fabric --
+
+TEST(Config, ParsesFabricBlock) {
+  const auto config = cc::load_config(wrap(
+      "<fabric nodes=\"4\" partition=\"hash\" remote-us=\"250\""
+      " remote-bw=\"2GB/s\" eviction-high=\"0.9\" eviction-low=\"0.7\""
+      " eviction-interval=\"20ms\"/>"));
+  ASSERT_TRUE(config.fabric.has_value());
+  EXPECT_EQ(config.fabric->nodes, 4u);
+  EXPECT_EQ(config.fabric->partition, canopus::fabric::Partition::kHash);
+  EXPECT_DOUBLE_EQ(config.fabric->remote_latency_seconds, 250e-6);
+  EXPECT_DOUBLE_EQ(config.fabric->remote_bandwidth, 2e9);
+  EXPECT_DOUBLE_EQ(config.fabric->eviction_high, 0.9);
+  EXPECT_DOUBLE_EQ(config.fabric->eviction_low, 0.7);
+  EXPECT_DOUBLE_EQ(config.fabric->eviction_interval_seconds, 0.02);
+}
+
+TEST(Config, FabricDefaultsAndValidation) {
+  // No <fabric> element: single-node serving, the optional stays empty.
+  EXPECT_FALSE(cc::load_config(kSample).fabric.has_value());
+  // Bare <fabric/> opts in with the defaults (range partition, 1 node).
+  const auto bare = cc::load_config(wrap("<fabric/>"));
+  ASSERT_TRUE(bare.fabric.has_value());
+  EXPECT_EQ(bare.fabric->nodes, 1u);
+  EXPECT_EQ(bare.fabric->partition, canopus::fabric::Partition::kMortonRange);
+  // "range" and "morton-range" are synonyms.
+  EXPECT_EQ(cc::load_config(wrap("<fabric partition=\"range\"/>"))
+                .fabric->partition,
+            canopus::fabric::Partition::kMortonRange);
+  EXPECT_EQ(cc::load_config(wrap("<fabric partition=\"morton-range\"/>"))
+                .fabric->partition,
+            canopus::fabric::Partition::kMortonRange);
+
+  EXPECT_THROW(cc::load_config(wrap("<fabric nodes=\"0\"/>")), canopus::Error);
+  EXPECT_THROW(cc::load_config(wrap("<fabric partition=\"round-robin\"/>")),
+               canopus::Error);
+  EXPECT_THROW(cc::load_config(wrap("<fabric remote-us=\"-5\"/>")),
+               canopus::Error);
+  EXPECT_THROW(cc::load_config(wrap("<fabric remote-bw=\"0MB/s\"/>")),
+               canopus::Error);
+  EXPECT_THROW(cc::load_config(wrap("<fabric eviction-high=\"1.5\"/>")),
+               canopus::Error);
+  EXPECT_THROW(cc::load_config(
+                   wrap("<fabric eviction-high=\"0.5\" eviction-low=\"0.8\"/>")),
+               canopus::Error);
+  EXPECT_THROW(cc::load_config(wrap("<fabric eviction-interval=\"0ms\"/>")),
+               canopus::Error);
+  const std::string bad_nodes = config_error(wrap("<fabric nodes=\"many\"/>"));
+  EXPECT_NE(bad_nodes.find("nodes"), std::string::npos) << bad_nodes;
+}

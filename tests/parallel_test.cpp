@@ -16,6 +16,7 @@
 
 #include "core/canopus.hpp"
 #include "core/geometry_cache.hpp"
+#include "fabric/fabric.hpp"
 #include "mesh/generators.hpp"
 #include "obs/observability.hpp"
 #include "obs/trace.hpp"
@@ -488,5 +489,100 @@ TEST(ParallelDeterminism, ScheduledQueryBitwiseMatchesDirectRead) {
   ASSERT_EQ(result.values.size(), direct.values().size());
   for (std::size_t i = 0; i < result.values.size(); ++i) {
     ASSERT_EQ(result.values[i], direct.values()[i]) << "vertex " << i;
+  }
+}
+
+// ------------------------------------------------ fabric determinism --
+
+// Sharding the products across a simulated cluster must be invisible in the
+// bytes: a full-accuracy read against any node of an N-node fabric (remote
+// chunks resolved through the directory) restores the exact field of the
+// 1-node fabric, which in turn matches a plain single-hierarchy read.
+TEST(ParallelDeterminism, OneNodeVsFourNodeFabricBitwiseIdentical) {
+  namespace cf = canopus::fabric;
+  const auto mesh = cm::make_annulus_mesh(16, 100, 0.5, 1.0, 0.1, 7);
+  cs::StorageHierarchy staging({cs::tmpfs_spec(256 << 20)});
+  auto config = parallel_config(4);
+  config.delta_chunks = 8;
+  cc::refactor_and_write(staging, "d.bp", "v", mesh, smooth_field(mesh), config);
+
+  cc::ReaderOptions serial;
+  serial.parallel.threads = 1;
+  serial.parallel.read_ahead = false;
+  cc::ProgressiveReader reference(staging, "d.bp", "v", nullptr, serial);
+  reference.refine_to(0);
+
+  for (const std::size_t nodes : {std::size_t{1}, std::size_t{4}}) {
+    cf::FabricOptions fo;
+    fo.nodes = nodes;
+    cf::Fabric fabric(fo, {cs::tmpfs_spec(64 << 20), cs::lustre_spec(1 << 30)});
+    fabric.import_container(staging, "d.bp");
+    for (std::size_t home = 0; home < nodes; ++home) {
+      cc::ReaderOptions opts;
+      opts.parallel.threads = 4;
+      cc::ProgressiveReader reader(fabric.node(home), "d.bp", "v", nullptr,
+                                   opts);
+      reader.refine_to(0);
+      ASSERT_EQ(reader.values().size(), reference.values().size());
+      for (std::size_t i = 0; i < reader.values().size(); ++i) {
+        ASSERT_EQ(reader.values()[i], reference.values()[i])
+            << "nodes=" << nodes << " home=" << home << " vertex " << i;
+      }
+    }
+    if (nodes > 1) {
+      // The identity was not vacuous: some chunks really crossed the wire.
+      EXPECT_GT(fabric.stats().remote_reads, 0u);
+    }
+  }
+}
+
+// Scheduler-routed fabric dispatch is equally invisible: a query submitted
+// to a scheduler with an attached fabric (shard picked by directory
+// affinity, remote chunks through the envelope) returns the same bytes as
+// the same scheduler without the fabric, and as a direct read.
+TEST(ParallelDeterminism, SchedulerFabricOnOffBitwiseIdentical) {
+  namespace cf = canopus::fabric;
+  const auto mesh = cm::make_annulus_mesh(16, 100, 0.5, 1.0, 0.1, 7);
+  cs::StorageHierarchy staging({cs::tmpfs_spec(256 << 20)});
+  auto config = parallel_config(4);
+  config.delta_chunks = 8;
+  cc::refactor_and_write(staging, "d.bp", "v", mesh, smooth_field(mesh), config);
+
+  cf::FabricOptions fo;
+  fo.nodes = 4;
+  cf::Fabric fabric(fo, {cs::tmpfs_spec(64 << 20), cs::lustre_spec(1 << 30)});
+  fabric.import_container(staging, "d.bp");
+
+  canopus::serve::ServeConfig serve;
+  serve.default_deadline_seconds = 1e9;
+  canopus::serve::QueryScheduler scheduler(staging, serve, {});
+
+  canopus::serve::QueryRequest request;
+  request.path = "d.bp";
+  request.var = "v";
+  request.target_level = 0;
+
+  canopus::serve::QueryResult off;
+  ASSERT_TRUE(scheduler.execute(request, &off).ok());
+
+  scheduler.attach_fabric(&fabric);
+  canopus::serve::QueryResult on;
+  const canopus::Status status = scheduler.execute(request, &on);
+  ASSERT_TRUE(status.ok()) << status.to_string();
+  EXPECT_GT(fabric.stats().local_hits, 0u);
+
+  ASSERT_EQ(on.achieved_level, off.achieved_level);
+  ASSERT_EQ(on.values.size(), off.values.size());
+  for (std::size_t i = 0; i < on.values.size(); ++i) {
+    ASSERT_EQ(on.values[i], off.values[i]) << "vertex " << i;
+  }
+
+  // Detach restores the constructor hierarchy for subsequent queries.
+  scheduler.attach_fabric(nullptr);
+  canopus::serve::QueryResult again;
+  ASSERT_TRUE(scheduler.execute(request, &again).ok());
+  ASSERT_EQ(again.values.size(), off.values.size());
+  for (std::size_t i = 0; i < again.values.size(); ++i) {
+    ASSERT_EQ(again.values[i], off.values[i]) << "vertex " << i;
   }
 }
