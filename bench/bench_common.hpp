@@ -116,6 +116,18 @@ struct PipelineOptions {
   // their own threads; the reported row is the mean per-session cost (and
   // the counter columns the totals). 1 keeps the single-reader protocol.
   std::size_t sessions = 1;
+  // Async I/O engine (--io-depth / --io-batch): depth > 1 routes each
+  // reader's delta fetches through an io::IoRing that keeps `io_depth` tier
+  // reads in flight (submitted to the hierarchy in batches of `io_batch`)
+  // and decodes each chunk as its completion lands. Results stay
+  // bitwise-identical to the blocking path; the io(s) column then reports
+  // the overlapped makespan instead of the serial sum. Needs delta_chunks
+  // > 1 to have anything to overlap.
+  std::uint32_t io_depth = 1;
+  std::uint32_t io_batch = 4;
+  // Independently decodable chunks per delta (--delta-chunks): the write-side
+  // knob that gives the ring (and the parallel decode) its parallelism.
+  std::uint32_t delta_chunks = 1;
 };
 
 /// Shared --threads flag (see PipelineOptions::threads).
@@ -129,6 +141,17 @@ inline void session_flags(const util::Cli& cli, PipelineOptions& opt) {
   opt.cache_mb = static_cast<std::size_t>(cli.get_int("cache-mb", 0));
   opt.sessions = static_cast<std::size_t>(
       std::max<std::int64_t>(1, cli.get_int("sessions", 1)));
+}
+
+/// Shared --io-depth / --io-batch / --delta-chunks flags (see
+/// PipelineOptions::io_depth, io_batch, delta_chunks).
+inline void io_flags(const util::Cli& cli, PipelineOptions& opt) {
+  opt.io_depth = static_cast<std::uint32_t>(
+      std::max<std::int64_t>(1, cli.get_int("io-depth", 1)));
+  opt.io_batch = static_cast<std::uint32_t>(
+      std::max<std::int64_t>(1, cli.get_int("io-batch", 4)));
+  opt.delta_chunks = static_cast<std::uint32_t>(std::max<std::int64_t>(
+      1, cli.get_int("delta-chunks", opt.io_depth > 1 ? 8 : 1)));
 }
 
 /// Shared --trace-out flag: `--trace-out=trace.json` enables the
@@ -242,6 +265,8 @@ inline std::vector<PipelineCase> run_pipeline(
       cc.budget_bytes = opt.cache_mb << 20;
       popt.cache = cc;
     }
+    popt.io.depth = opt.io_depth;
+    popt.io.batch = opt.io_batch;
     Pipeline pipeline(tiers, popt);
 
     WriteRequest wreq;
@@ -252,6 +277,7 @@ inline std::vector<PipelineCase> run_pipeline(
     wreq.config.levels = n_levels;
     wreq.config.codec = opt.codec;
     wreq.config.error_bound = opt.error_bound;
+    wreq.config.delta_chunks = opt.delta_chunks;
     const auto ws = pipeline.write(wreq);
     if (!ws.ok()) throw Error("refactor failed: " + ws.to_string());
 

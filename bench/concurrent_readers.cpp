@@ -66,6 +66,8 @@ ConfigResult run_config(const sim::Dataset& ds, const bench::PipelineOptions& op
 
   canopus::PipelineOptions popt;
   popt.parallel.threads = opt.threads;
+  popt.io.depth = opt.io_depth;
+  popt.io.batch = opt.io_batch;
   if (cached) {
     cache::CacheConfig cc;
     cc.budget_bytes = opt.cache_mb << 20;
@@ -79,6 +81,7 @@ ConfigResult run_config(const sim::Dataset& ds, const bench::PipelineOptions& op
   wreq.mesh = &ds.mesh;
   wreq.values = &ds.values;
   wreq.config.levels = 4;  // decimation ratio 8
+  wreq.config.delta_chunks = opt.delta_chunks;
   wreq.config.codec = opt.codec;
   wreq.config.error_bound = opt.error_bound;
   const auto ws = pipeline.write(wreq);
@@ -192,6 +195,8 @@ ClusterResult run_fabric_config(const sim::Dataset& ds,
 
   canopus::PipelineOptions popt;
   popt.parallel.threads = opt.threads;
+  popt.io.depth = opt.io_depth;
+  popt.io.batch = opt.io_batch;
   std::vector<std::unique_ptr<Pipeline>> pipelines;
   pipelines.reserve(run_nodes);
   for (std::size_t i = 0; i < run_nodes; ++i) {
@@ -356,6 +361,9 @@ int main(int argc, char** argv) {
   opt.sessions = static_cast<std::size_t>(
       std::max<std::int64_t>(2, cli.get_int("sessions", 8)));
   if (opt.cache_mb == 0) opt.cache_mb = 64;  // the study needs a cache to compare
+  // --io-depth/--io-batch route session fetches through the async engine;
+  // --delta-chunks gives it (and the parallel decode) its parallelism.
+  bench::io_flags(cli, opt);
   // Observability is on by default here so the cache.* counters land in the
   // metric summary; --trace-out additionally writes the Chrome trace.
   if (cli.has("trace-out")) {

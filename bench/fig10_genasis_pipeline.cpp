@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   opt.error_bound = cli.get_double("eb", 1e-4);
   opt.threads = bench::threads_flag(cli);
   bench::session_flags(cli, opt);
+  bench::io_flags(cli, opt);
   bench::observability_flags(cli);
 
   sim::GenasisOptions gopt;  // paper-sized: ~130k triangles

@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   opt.error_bound = cli.get_double("eb", 1e-4);
   opt.threads = bench::threads_flag(cli);
   bench::session_flags(cli, opt);
+  bench::io_flags(cli, opt);
   bench::observability_flags(cli);
 
   const auto ds = sim::make_cfd_dataset({});

@@ -28,10 +28,86 @@ int main(int argc, char** argv) {
   // the next-level retrieval as K concurrent ReadSessions (mean per-session
   // cost reported). See bench/concurrent_readers for the dedicated study.
   bench::session_flags(cli, opt);
+  // --io-depth=D routes delta fetches through the async engine (D reads in
+  // flight, completion-driven decode); --delta-chunks sets the write-side
+  // chunking that gives it parallelism. --io-ab runs the acceptance A/B.
+  bench::io_flags(cli, opt);
   // --trace-out=trace.json records spans + metrics and exports a Chrome trace.
   bench::observability_flags(cli);
 
   const auto ds = sim::make_xgc_dataset({});
+
+  if (cli.has("io-ab")) {
+    // Acceptance A/B: identical container (delta_chunks >= 8 so the ring has
+    // parallelism), full restoration read twice — blocking (depth 1) vs
+    // async (depth >= 8). The restored field must be bitwise-identical and
+    // the async simulated I/O strictly lower; exit nonzero otherwise.
+    const std::uint32_t depth = std::max<std::uint32_t>(8, opt.io_depth);
+    const std::uint32_t chunks = std::max<std::uint32_t>(8, opt.delta_chunks);
+    auto tiers = bench::make_two_tier(ds.values.size() * sizeof(double));
+    canopus::PipelineOptions popt;
+    popt.parallel.threads = opt.threads;
+    Pipeline write_pipe(tiers, popt);
+    WriteRequest wreq;
+    wreq.path = "ab.bp";
+    wreq.var = ds.variable;
+    wreq.mesh = &ds.mesh;
+    wreq.values = &ds.values;
+    wreq.config.levels = 4;
+    wreq.config.codec = opt.codec;
+    wreq.config.error_bound = opt.error_bound;
+    wreq.config.delta_chunks = chunks;
+    const auto ws = write_pipe.write(wreq);
+    if (!ws.ok()) throw Error("refactor failed: " + ws.to_string());
+    const auto geometry = core::GeometryCache::load(tiers, "ab.bp", ds.variable);
+
+    ReadRequest rreq;
+    rreq.path = "ab.bp";
+    rreq.var = ds.variable;
+    rreq.geometry = &geometry;
+    rreq.target_level = 0;
+
+    auto run_side = [&](std::uint32_t io_depth) {
+      canopus::PipelineOptions side = popt;
+      side.io.depth = io_depth;
+      side.io.batch = opt.io_batch;
+      Pipeline p(tiers, side);
+      ReadResult r;
+      const auto st = p.read(rreq, &r);
+      if (!st.usable()) throw Error("A/B read failed: " + st.to_string());
+      return r;
+    };
+    const auto blocking = run_side(1);
+    const auto async = run_side(depth);
+
+    util::Table t({"path", "io(s)", "decompress(s)", "restore(s)"});
+    t.add_row({"blocking depth=1", util::Table::num(blocking.timings.io_seconds, 5),
+               util::Table::num(blocking.timings.decompress_seconds, 4),
+               util::Table::num(blocking.timings.restore_seconds, 4)});
+    t.add_row({"async depth=" + std::to_string(depth),
+               util::Table::num(async.timings.io_seconds, 5),
+               util::Table::num(async.timings.decompress_seconds, 4),
+               util::Table::num(async.timings.restore_seconds, 4)});
+    t.print(std::cout, "Fig. 9 async I/O A/B (full restoration, " +
+                           std::to_string(chunks) + " delta chunks)");
+
+    if (blocking.values != async.values) {
+      std::cerr << "FAIL: async restoration is not bitwise-identical to the "
+                   "blocking path\n";
+      return 1;
+    }
+    if (!(async.timings.io_seconds < blocking.timings.io_seconds)) {
+      std::cerr << "FAIL: async io_seconds (" << async.timings.io_seconds
+                << ") not below blocking (" << blocking.timings.io_seconds
+                << ")\n";
+      return 1;
+    }
+    std::cout << "\nasync vs blocking simulated I/O: "
+              << util::Table::pct(1.0 - async.timings.io_seconds /
+                                            blocking.timings.io_seconds)
+              << " lower, restored field bitwise-identical\n";
+    return 0;
+  }
   std::cout << "workload: xgc1 dpot plane, " << ds.values.size()
             << " values (" << ds.values.size() * sizeof(double) / 1024
             << " KiB raw), contended-PFS + tmpfs hierarchy\n\n";

@@ -1,14 +1,29 @@
 // google-benchmark microbenchmarks of the kernels underneath every figure:
 // codec encode/decode throughput, edge-collapse decimation, point location,
 // delta calculation/restoration, and blob detection.
+//
+// `--compare` switches to the scalar-vs-SIMD harness instead (no
+// google-benchmark): each vectorized hot kernel (crc32 slice-by-8, zfp
+// forward/inverse block transform, sz dequantization, delta estimate /
+// restore) runs both with util::simd forced scalar and with the runtime
+// dispatch active, verifies the outputs are bitwise-identical, and reports
+// best-of-N throughput. `--json` emits the table as JSON; `--min-speedup=R`
+// fails (nonzero exit) if any vectorized kernel falls below R, and — when a
+// vector ISA is active — at least two kernels must clear 2x.
 
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
 
 #include "analytics/blob.hpp"
 #include "analytics/raster.hpp"
 #include "compress/codec.hpp"
+#include "compress/sz_like.hpp"
+#include "compress/zfp_like.hpp"
 #include "core/delta.hpp"
 #include "mesh/cascade.hpp"
 #include "mesh/decimate.hpp"
@@ -16,7 +31,11 @@
 #include "mesh/point_locator.hpp"
 #include "grid/structured.hpp"
 #include "sim/datasets.hpp"
+#include "util/crc32.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
 
 using namespace canopus;
 
@@ -175,4 +194,245 @@ static void BM_GridCoarsenDelta(benchmark::State& state) {
 }
 BENCHMARK(BM_GridCoarsenDelta)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+namespace {
+
+/// One scalar-vs-SIMD comparison row. `bytes` is the data volume one run of
+/// `fn` touches; throughput = bytes / best-of-N seconds.
+struct CompareResult {
+  std::string op;
+  std::size_t bytes = 0;
+  double scalar_bps = 0.0;
+  double simd_bps = 0.0;
+  bool identical = false;
+  double speedup() const {
+    return scalar_bps > 0.0 ? simd_bps / scalar_bps : 0.0;
+  }
+};
+
+template <typename F>
+double timed_seconds(F&& fn) {
+  util::WallTimer t;
+  fn();
+  return t.seconds();
+}
+
+/// Runs `fn` (which overwrites an output buffer) under both dispatch states,
+/// checks the outputs bitwise via `digest` (raw output bytes), then times.
+/// Scalar and SIMD reps are interleaved so a load spike on a shared host
+/// hits both paths equally — timing them in two separate phases makes the
+/// speedup ratio swing wildly when the machine slows mid-measurement.
+template <typename Fn, typename Digest>
+CompareResult compare_kernel(const std::string& op, std::size_t bytes, Fn&& fn,
+                             Digest&& digest, int reps = 5) {
+  CompareResult r;
+  r.op = op;
+  r.bytes = bytes;
+  std::vector<std::uint8_t> scalar_digest, simd_digest;
+  {
+    util::simd::ScopedForceScalar scalar;
+    fn();
+    scalar_digest = digest();
+  }
+  fn();
+  simd_digest = digest();
+  r.identical = scalar_digest == simd_digest;
+
+  double best_scalar = 1e30, best_simd = 1e30;
+  for (int rep = 0; rep < reps; ++rep) {
+    {
+      util::simd::ScopedForceScalar scalar;
+      best_scalar = std::min(best_scalar, timed_seconds(fn));
+    }
+    best_simd = std::min(best_simd, timed_seconds(fn));
+  }
+  r.scalar_bps = static_cast<double>(bytes) / best_scalar;
+  r.simd_bps = static_cast<double>(bytes) / best_simd;
+  return r;
+}
+
+std::vector<std::uint8_t> bytes_of(const void* p, std::size_t n) {
+  std::vector<std::uint8_t> out(n);
+  std::memcpy(out.data(), p, n);
+  return out;
+}
+
+int run_compare(bool json, double min_speedup) {
+  util::Rng rng(42);
+  std::vector<CompareResult> rows;
+
+  {  // CRC-32: bytewise table walk vs slice-by-8.
+    std::vector<std::uint8_t> buf(16u << 20);
+    for (auto& b : buf) b = static_cast<std::uint8_t>(rng.next_u64());
+    std::uint32_t crc = 0;
+    auto fn = [&] {
+      util::Crc32 c;
+      c.update(buf.data(), buf.size());
+      crc = c.value();
+    };
+    rows.push_back(compare_kernel("crc32", buf.size(), fn, [&] {
+      return bytes_of(&crc, sizeof(crc));
+    }));
+  }
+
+  // The transform/dequant kernels use L2-resident working sets with an inner
+  // repeat loop: the compare measures the kernels themselves, not DRAM
+  // bandwidth (which caps both paths at the same number).
+  {  // zfp-like forward Haar lifting over 64-sample blocks.
+    const std::size_t n = (1u << 15);  // 512 blocks, 256 KiB
+    const int iters = 32;
+    std::vector<std::int64_t> base(n), work(n);
+    for (auto& v : base) {
+      v = static_cast<std::int64_t>(rng.next_u64() >> 20) - (1ll << 43);
+    }
+    auto fwd = [&] {
+      for (int it = 0; it < iters; ++it) {
+        work = base;
+        for (std::size_t b = 0; b < n; b += compress::detail::kZfpBlock) {
+          compress::detail::forward_transform64(work.data() + b);
+        }
+      }
+    };
+    rows.push_back(compare_kernel("zfp_fwd_transform",
+                                  iters * n * sizeof(std::int64_t), fwd, [&] {
+                                    return bytes_of(work.data(),
+                                                    n * sizeof(std::int64_t));
+                                  }, 15));
+    // Inverse over the transformed blocks (round-trips back to `base`).
+    const std::vector<std::int64_t> coeffs = [&] {
+      util::simd::ScopedForceScalar scalar;
+      fwd();
+      return work;
+    }();
+    auto inv = [&] {
+      for (int it = 0; it < iters; ++it) {
+        work = coeffs;
+        for (std::size_t b = 0; b < n; b += compress::detail::kZfpBlock) {
+          compress::detail::inverse_transform64(work.data() + b);
+        }
+      }
+    };
+    rows.push_back(compare_kernel("zfp_inv_transform",
+                                  iters * n * sizeof(std::int64_t), inv, [&] {
+                                    return bytes_of(work.data(),
+                                                    n * sizeof(std::int64_t));
+                                  }, 15));
+  }
+
+  {  // sz-like dequantization: zigzag decode + int->double scale.
+    const std::size_t n = (1u << 14);  // 256 KiB codes + out
+    const int iters = 256;
+    std::vector<std::uint64_t> codes(n);
+    for (auto& c : codes) c = rng.next_u64() % (1u << 21);
+    std::vector<double> out(n);
+    auto fn = [&] {
+      for (int it = 0; it < iters; ++it) {
+        compress::detail::dequant_codes(codes.data(), n, 1e-4, out.data());
+      }
+    };
+    rows.push_back(compare_kernel("sz_dequant", iters * n * sizeof(double), fn,
+                                  [&] {
+                                    return bytes_of(out.data(),
+                                                    n * sizeof(double));
+                                  }, 15));
+  }
+
+  {  // Delta estimate loops (Algorithms 2+3) on the XGC mesh, barycentric
+     // interpolation (the arithmetic-heavy estimate mode).
+    const auto& ds = xgc_small();
+    mesh::DecimateOptions opt;
+    opt.ratio = 2.0;
+    const auto coarse = mesh::decimate(ds.mesh, ds.values, opt);
+    const auto mapping = core::build_mapping(ds.mesh, coarse.mesh);
+    const std::size_t bytes = ds.values.size() * sizeof(double);
+    mesh::Field delta, restored;
+    auto fn_delta = [&] {
+      delta = core::compute_delta(coarse.mesh, coarse.values, ds.values,
+                                  mapping, core::EstimateMode::kBarycentric);
+    };
+    rows.push_back(compare_kernel("delta_estimate", bytes, fn_delta, [&] {
+      return bytes_of(delta.data(), delta.size() * sizeof(double));
+    }, 15));
+    fn_delta();
+    auto fn_restore = [&] {
+      restored = core::restore_level(coarse.mesh, coarse.values, delta, mapping,
+                                     core::EstimateMode::kBarycentric);
+    };
+    rows.push_back(compare_kernel("delta_restore", bytes, fn_restore, [&] {
+      return bytes_of(restored.data(), restored.size() * sizeof(double));
+    }, 15));
+  }
+
+  const bool vector_isa =
+      util::simd::hardware_isa() != util::simd::Isa::kScalar;
+  bool all_identical = true;
+  bool above_min = true;
+  std::size_t two_x = 0;
+  for (const auto& r : rows) {
+    all_identical = all_identical && r.identical;
+    above_min = above_min && r.speedup() >= min_speedup;
+    if (r.speedup() >= 2.0) ++two_x;
+  }
+  // Without a vector ISA both runs execute the same scalar code; the gates
+  // would only measure timer noise, so they pass vacuously.
+  const bool pass = all_identical &&
+                    (!vector_isa || (above_min && two_x >= 2));
+
+  if (json) {
+    std::cout << "{\n  \"isa\": \"" << util::simd::to_string(util::simd::active_isa())
+              << "\",\n  \"min_speedup\": " << min_speedup
+              << ",\n  \"kernels\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const auto& r = rows[i];
+      std::cout << "    {\"op\": \"" << r.op << "\", \"bytes\": " << r.bytes
+                << ", \"scalar_bytes_per_s\": " << static_cast<std::uint64_t>(r.scalar_bps)
+                << ", \"simd_bytes_per_s\": " << static_cast<std::uint64_t>(r.simd_bps)
+                << ", \"speedup\": " << util::Table::num(r.speedup(), 2)
+                << ", \"bitwise_identical\": " << (r.identical ? "true" : "false")
+                << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    std::cout << "  ],\n  \"pass\": " << (pass ? "true" : "false") << "\n}\n";
+  } else {
+    util::Table t({"op", "scalar MB/s", "simd MB/s", "speedup", "bitwise"});
+    for (const auto& r : rows) {
+      t.add_row({r.op, util::Table::num(r.scalar_bps / 1e6, 1),
+                 util::Table::num(r.simd_bps / 1e6, 1),
+                 util::Table::num(r.speedup(), 2) + "x",
+                 r.identical ? "identical" : "DIFFERS"});
+    }
+    t.print(std::cout, "scalar vs SIMD kernels (isa " +
+                           std::string(util::simd::to_string(
+                               util::simd::active_isa())) +
+                           ", best-of-N wall time)");
+    if (!pass) {
+      std::cout << "\nFAIL: " << (all_identical ? "" : "outputs differ; ")
+                << (above_min ? "" : "a kernel fell below the speedup floor; ")
+                << (two_x >= 2 || !vector_isa ? "" : "fewer than 2 kernels at >=2x")
+                << "\n";
+    }
+  }
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool compare = false;
+  bool json = false;
+  // The floor tolerates ~10% wall-clock jitter: near-parity kernels (the
+  // gather-bound delta loops) would otherwise flake on shared hosts.
+  double min_speedup = 0.9;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--compare") compare = true;
+    if (arg == "--json") json = true;
+    if (arg.rfind("--min-speedup=", 0) == 0) {
+      min_speedup = std::stod(arg.substr(std::strlen("--min-speedup=")));
+    }
+  }
+  if (compare) return run_compare(json, min_speedup);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

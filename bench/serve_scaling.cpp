@@ -213,8 +213,12 @@ int main(int argc, char** argv) {
   const std::size_t raw_bytes = ds.values.size() * sizeof(double);
   auto tiers = bench::make_two_tier(raw_bytes);
 
+  bench::PipelineOptions io_opt;
+  bench::io_flags(cli, io_opt);
   canopus::PipelineOptions popt;
   popt.parallel.threads = bench::threads_flag(cli);
+  popt.io.depth = io_opt.io_depth;
+  popt.io.batch = io_opt.io_batch;
   Pipeline pipeline(tiers, popt);
 
   WriteRequest wreq;
@@ -223,6 +227,7 @@ int main(int argc, char** argv) {
   wreq.mesh = &ds.mesh;
   wreq.values = &ds.values;
   wreq.config.levels = 4;  // decimation ratio 8
+  wreq.config.delta_chunks = io_opt.delta_chunks;
   wreq.config.codec = "zfp";
   wreq.config.error_bound = 1e-4;
   const auto ws = pipeline.write(wreq);
@@ -267,6 +272,8 @@ int main(int argc, char** argv) {
   // cache is configured, every query pays its own tier reads).
   canopus::PipelineOptions spopt;
   spopt.parallel.threads = bench::threads_flag(cli);
+  spopt.io.depth = io_opt.io_depth;
+  spopt.io.batch = io_opt.io_batch;
   spopt.serve = serve_config;
   Pipeline scheduled_pipeline(tiers, spopt);
   serve::QueryRequest base_query;

@@ -5,6 +5,14 @@
 
 #include "compress/huffman.hpp"
 #include "util/assert.hpp"
+#include "util/simd.hpp"
+
+#if CANOPUS_SIMD_X86
+#include <immintrin.h>
+#endif
+#if CANOPUS_SIMD_NEON
+#include <arm_neon.h>
+#endif
 
 namespace canopus::compress {
 
@@ -21,6 +29,57 @@ inline std::uint64_t zigzag(std::int64_t v) {
 inline std::int64_t unzigzag(std::uint64_t u) {
   return static_cast<std::int64_t>(u >> 1) ^ -static_cast<std::int64_t>(u & 1);
 }
+
+void dequant_codes_scalar(const std::uint64_t* codes, std::size_t n,
+                          double step, double* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<double>(unzigzag(codes[i])) * step;
+  }
+}
+
+#if CANOPUS_SIMD_X86
+// Four lanes of unzigzag + int->double + scale. The conversion truncates each
+// 64-bit code to its low dword before _mm256_cvtepi32_pd — exact for every
+// code sz_encode emits (|q| <= kMaxCode = 2^20, so zigzag fits in 22 bits);
+// escape lanes produce garbage that the caller never reads.
+__attribute__((target("avx2"))) void dequant_codes_avx2(
+    const std::uint64_t* codes, std::size_t n, double step, double* out) {
+  const __m256i one = _mm256_set1_epi64x(1);
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i low_dwords = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+  const __m256d vstep = _mm256_set1_pd(step);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i u =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(codes + i));
+    const __m256i neg = _mm256_sub_epi64(zero, _mm256_and_si256(u, one));
+    const __m256i q = _mm256_xor_si256(_mm256_srli_epi64(u, 1), neg);
+    const __m128i q32 =
+        _mm256_castsi256_si128(_mm256_permutevar8x32_epi32(q, low_dwords));
+    const __m256d t = _mm256_mul_pd(_mm256_cvtepi32_pd(q32), vstep);
+    _mm256_storeu_pd(out + i, t);
+  }
+  dequant_codes_scalar(codes + i, n - i, step, out + i);
+}
+#endif  // CANOPUS_SIMD_X86
+
+#if CANOPUS_SIMD_NEON
+void dequant_codes_neon(const std::uint64_t* codes, std::size_t n, double step,
+                        double* out) {
+  const uint64x2_t one = vdupq_n_u64(1);
+  const float64x2_t vstep = vdupq_n_f64(step);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t u = vld1q_u64(codes + i);
+    const int64x2_t neg =
+        vnegq_s64(vreinterpretq_s64_u64(vandq_u64(u, one)));
+    const int64x2_t q =
+        veorq_s64(vreinterpretq_s64_u64(vshrq_n_u64(u, 1)), neg);
+    vst1q_f64(out + i, vmulq_f64(vcvtq_f64_s64(q), vstep));
+  }
+  dequant_codes_scalar(codes + i, n - i, step, out + i);
+}
+#endif  // CANOPUS_SIMD_NEON
 }  // namespace
 
 util::Bytes sz_encode(std::span<const double> values, double error_bound) {
@@ -90,18 +149,47 @@ std::vector<double> sz_decode(util::BytesView bytes) {
   util::ByteReader codes(code_stream);
   util::ByteReader raws(raw_bytes);
 
+  // Reconstruction is split so its data-parallel half can vectorize: parse
+  // the varints, turn every code into its scaled increment in one wide pass,
+  // then run the (inherently serial) Lorenzo prefix accumulation. The scalar
+  // loop `prev += double(unzigzag(u)) * step` computes the same two roundings
+  // in the same order, so the split is bitwise-neutral.
   const double step = 2.0 * error_bound;
+  std::vector<std::uint64_t> parsed(count);
+  for (std::size_t i = 0; i < count; ++i) parsed[i] = codes.get_varint();
+  std::vector<double> increments(count);
+  detail::dequant_codes(parsed.data(), count, step, increments.data());
   double prev = 0.0;
   for (std::size_t i = 0; i < count; ++i) {
-    const auto u = codes.get_varint();
-    if (u == kEscape) {
+    if (parsed[i] == kEscape) {
       prev = raws.get<double>();
     } else {
-      prev += static_cast<double>(unzigzag(u)) * step;
+      prev += increments[i];
     }
     out[i] = prev;
   }
   return out;
 }
+
+namespace detail {
+
+void dequant_codes(const std::uint64_t* codes, std::size_t n, double step,
+                   double* out) {
+#if CANOPUS_SIMD_X86
+  if (util::simd::use_avx2()) {
+    dequant_codes_avx2(codes, n, step, out);
+    return;
+  }
+#endif
+#if CANOPUS_SIMD_NEON
+  if (util::simd::use_neon()) {
+    dequant_codes_neon(codes, n, step, out);
+    return;
+  }
+#endif
+  dequant_codes_scalar(codes, n, step, out);
+}
+
+}  // namespace detail
 
 }  // namespace canopus::compress

@@ -18,4 +18,17 @@ namespace canopus::compress {
 util::Bytes sz_encode(std::span<const double> values, double error_bound);
 std::vector<double> sz_decode(util::BytesView bytes);
 
+namespace detail {
+/// The data-parallel half of sz_decode's reconstruction:
+///   out[i] = double(unzigzag(codes[i])) * step
+/// for every lane (escape markers included — their output is ignored by the
+/// caller). The scalar prefix accumulation `prev += out[i]` stays serial by
+/// design (loop-carried Lorenzo prediction). Dispatches per util::simd; all
+/// paths are bitwise-identical because sz codes are bounded (|q| <= 2^20), so
+/// the int->double conversion is exact in every lane width. Exposed for
+/// micro_kernels and the compress determinism tests.
+void dequant_codes(const std::uint64_t* codes, std::size_t n, double step,
+                   double* out);
+}  // namespace detail
+
 }  // namespace canopus::compress

@@ -8,12 +8,17 @@
 
 #include "util/assert.hpp"
 #include "util/bitstream.hpp"
+#include "util/simd.hpp"
+
+#if CANOPUS_SIMD_X86
+#include <immintrin.h>
+#endif
 
 namespace canopus::compress {
 
 namespace {
 
-constexpr std::size_t kBlock = 64;
+constexpr std::size_t kBlock = detail::kZfpBlock;
 // Fixed-point budget: |q| < 2^kQBits after scaling, leaving headroom for the
 // transform's detail coefficients (|d| <= 2 * max|q|) inside int64.
 constexpr int kQBits = 60;
@@ -26,39 +31,120 @@ constexpr int kSafetyPlanes = 4;
 
 enum class BlockMode : std::uint8_t { kAllZero = 0, kNormal = 1, kRaw = 2 };
 
-/// Forward integer Haar lifting (S-transform), in place; exactly invertible.
-/// Output layout is coarse-to-fine: [DC, d@32, d@16x2, ..., d@1x32].
-void forward_transform(std::array<std::int64_t, kBlock>& a) {
-  std::array<std::int64_t, kBlock> tmp;
+/// One forward lifting stage over a[0..len): pair (even, odd), emit sums then
+/// details. Shared by the scalar path and the vector path's short tails.
+void forward_stage_scalar(std::int64_t* a, std::int64_t* tmp, std::size_t len) {
+  const std::size_t half = len / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    const std::int64_t x = a[2 * i];
+    const std::int64_t y = a[2 * i + 1];
+    const std::int64_t d = x - y;
+    const std::int64_t s = y + (d >> 1);  // floor((x + y) / 2)
+    tmp[i] = s;
+    tmp[half + i] = d;
+  }
+  std::copy(tmp, tmp + len, a);
+}
+
+void inverse_stage_scalar(std::int64_t* a, std::int64_t* tmp, std::size_t len) {
+  const std::size_t half = len / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    const std::int64_t s = a[i];
+    const std::int64_t d = a[half + i];
+    const std::int64_t y = s - (d >> 1);
+    const std::int64_t x = y + d;
+    tmp[2 * i] = x;
+    tmp[2 * i + 1] = y;
+  }
+  std::copy(tmp, tmp + len, a);
+}
+
+void forward_transform_scalar(std::int64_t* a) {
+  std::int64_t tmp[kBlock];
   for (std::size_t len = kBlock; len >= 2; len /= 2) {
-    const std::size_t half = len / 2;
-    for (std::size_t i = 0; i < half; ++i) {
-      const std::int64_t x = a[2 * i];
-      const std::int64_t y = a[2 * i + 1];
-      const std::int64_t d = x - y;
-      const std::int64_t s = y + (d >> 1);  // floor((x + y) / 2)
-      tmp[i] = s;
-      tmp[half + i] = d;
-    }
-    std::copy(tmp.begin(), tmp.begin() + static_cast<long>(len), a.begin());
+    forward_stage_scalar(a, tmp, len);
   }
 }
 
-/// Inverse of forward_transform.
-void inverse_transform(std::array<std::int64_t, kBlock>& a) {
-  std::array<std::int64_t, kBlock> tmp;
+void inverse_transform_scalar(std::int64_t* a) {
+  std::int64_t tmp[kBlock];
   for (std::size_t len = 2; len <= kBlock; len *= 2) {
-    const std::size_t half = len / 2;
-    for (std::size_t i = 0; i < half; ++i) {
-      const std::int64_t s = a[i];
-      const std::int64_t d = a[half + i];
-      const std::int64_t y = s - (d >> 1);
-      const std::int64_t x = y + d;
-      tmp[2 * i] = x;
-      tmp[2 * i + 1] = y;
-    }
-    std::copy(tmp.begin(), tmp.begin() + static_cast<long>(len), a.begin());
+    inverse_stage_scalar(a, tmp, len);
   }
+}
+
+#if CANOPUS_SIMD_X86
+// AVX2 lifting: four (even, odd) pairs per step. All operations are 64-bit
+// integer adds/subs plus an emulated arithmetic shift-right-by-one (AVX2 has
+// no _mm256_srai_epi64), so every lane computes exactly the scalar
+// expression and the transforms stay bitwise-identical and exactly
+// invertible. Stages of length >= 8 vectorize; the len=4 and len=2 tails run
+// the scalar pair loop.
+
+__attribute__((target("avx2"))) inline __m256i sra1_epi64(__m256i v) {
+  const __m256i sign = _mm256_set1_epi64x(static_cast<long long>(1ULL << 63));
+  return _mm256_or_si256(_mm256_srli_epi64(v, 1), _mm256_and_si256(v, sign));
+}
+
+__attribute__((target("avx2"))) void forward_transform_avx2(std::int64_t* a) {
+  alignas(32) std::int64_t tmp[kBlock];
+  for (std::size_t len = kBlock; len >= 8; len /= 2) {
+    const std::size_t half = len / 2;
+    for (std::size_t i = 0; i < half; i += 4) {
+      const __m256i v0 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + 2 * i));
+      const __m256i v1 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + 2 * i + 4));
+      // Deinterleave (a[2i], a[2i+1], ...) into even/odd quadruples.
+      const __m256i ev = _mm256_permute4x64_epi64(
+          _mm256_unpacklo_epi64(v0, v1), 0b11011000);
+      const __m256i od = _mm256_permute4x64_epi64(
+          _mm256_unpackhi_epi64(v0, v1), 0b11011000);
+      const __m256i d = _mm256_sub_epi64(ev, od);
+      const __m256i s = _mm256_add_epi64(od, sra1_epi64(d));
+      _mm256_store_si256(reinterpret_cast<__m256i*>(tmp + i), s);
+      _mm256_store_si256(reinterpret_cast<__m256i*>(tmp + half + i), d);
+    }
+    std::copy(tmp, tmp + len, a);
+  }
+  for (std::size_t len = 4; len >= 2; len /= 2) {
+    forward_stage_scalar(a, tmp, len);
+  }
+}
+
+__attribute__((target("avx2"))) void inverse_transform_avx2(std::int64_t* a) {
+  alignas(32) std::int64_t tmp[kBlock];
+  for (std::size_t len = 2; len <= 4; len *= 2) {
+    inverse_stage_scalar(a, tmp, len);
+  }
+  for (std::size_t len = 8; len <= kBlock; len *= 2) {
+    const std::size_t half = len / 2;
+    for (std::size_t i = 0; i < half; i += 4) {
+      const __m256i s =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+      const __m256i d =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + half + i));
+      const __m256i y = _mm256_sub_epi64(s, sra1_epi64(d));
+      const __m256i x = _mm256_add_epi64(y, d);
+      // Re-interleave (x0, y0, x1, y1, ...).
+      const __m256i lo = _mm256_unpacklo_epi64(x, y);  // x0 y0 x2 y2
+      const __m256i hi = _mm256_unpackhi_epi64(x, y);  // x1 y1 x3 y3
+      _mm256_store_si256(reinterpret_cast<__m256i*>(tmp + 2 * i),
+                         _mm256_permute2x128_si256(lo, hi, 0x20));
+      _mm256_store_si256(reinterpret_cast<__m256i*>(tmp + 2 * i + 4),
+                         _mm256_permute2x128_si256(lo, hi, 0x31));
+    }
+    std::copy(tmp, tmp + len, a);
+  }
+}
+#endif  // CANOPUS_SIMD_X86
+
+void forward_transform(std::array<std::int64_t, kBlock>& a) {
+  detail::forward_transform64(a.data());
+}
+
+void inverse_transform(std::array<std::int64_t, kBlock>& a) {
+  detail::inverse_transform64(a.data());
 }
 
 /// Computes the lowest encoded bit plane for this block. Both sides derive it
@@ -254,5 +340,29 @@ std::vector<double> zfp_decode(util::BytesView bytes) {
   }
   return out;
 }
+
+namespace detail {
+
+void forward_transform64(std::int64_t* a) {
+#if CANOPUS_SIMD_X86
+  if (util::simd::use_avx2()) {
+    forward_transform_avx2(a);
+    return;
+  }
+#endif
+  forward_transform_scalar(a);
+}
+
+void inverse_transform64(std::int64_t* a) {
+#if CANOPUS_SIMD_X86
+  if (util::simd::use_avx2()) {
+    inverse_transform_avx2(a);
+    return;
+  }
+#endif
+  inverse_transform_scalar(a);
+}
+
+}  // namespace detail
 
 }  // namespace canopus::compress

@@ -25,4 +25,17 @@ namespace canopus::compress {
 util::Bytes zfp_encode(std::span<const double> values, double error_bound);
 std::vector<double> zfp_decode(util::BytesView bytes);
 
+namespace detail {
+/// The block size of the Haar lifting transform below.
+inline constexpr std::size_t kZfpBlock = 64;
+
+/// Forward/inverse integer Haar lifting over one 64-coefficient block, in
+/// place. Dispatches to the AVX2 lane variant when util::simd allows it;
+/// both paths are exactly invertible and bitwise-identical. Exposed so
+/// micro_kernels can time the transform alone (inside zfp_encode it is
+/// diluted by the bit-plane coder) and compress_test can pin scalar == simd.
+void forward_transform64(std::int64_t* a);
+void inverse_transform64(std::int64_t* a);
+}  // namespace detail
+
 }  // namespace canopus::compress

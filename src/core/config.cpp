@@ -354,6 +354,25 @@ RuntimeConfig load_config(const std::string& xml_text) {
     config.observability = oo;
   }
 
+  if (const auto* io_node = root->child("io")) {
+    io::IoConfig ic;
+    if (io_node->has_attr("depth")) {
+      ic.depth = static_cast<std::uint32_t>(
+          parse_uint(io_node->attr("depth"), "<io> attribute 'depth'"));
+      CANOPUS_CHECK(ic.depth >= 1, "<io> depth must be >= 1");
+    }
+    if (io_node->has_attr("batch")) {
+      ic.batch = static_cast<std::uint32_t>(
+          parse_uint(io_node->attr("batch"), "<io> attribute 'batch'"));
+      CANOPUS_CHECK(ic.batch >= 1, "<io> batch must be >= 1");
+    }
+    if (io_node->has_attr("deadline")) {
+      ic.deadline_seconds = parse_duration(io_node->attr("deadline"));
+      CANOPUS_CHECK(ic.deadline_seconds >= 0.0, "<io> deadline must be >= 0");
+    }
+    config.io = ic;
+  }
+
   if (const auto* serve_node = root->child("serve")) {
     serve::ServeConfig sc;
     if (serve_node->has_attr("workers")) {

@@ -27,6 +27,7 @@
 //     <cache budget="64MiB" shards="8"/>
 //     <observability enabled="true" trace="run-trace.json"
 //                    histogram-buckets="64"/>
+//     <io depth="8" batch="4" deadline="5ms"/>
 //     <serve workers="4" queue-limit="64" deadline-default="250ms"
 //            age-boost="4"/>
 //     <fabric nodes="4" partition="range" remote-us="200" remote-bw="1GB/s"
@@ -59,6 +60,13 @@
 // MiB count), `shards` the lock-shard count, and `verify-hits` re-checks
 // each hit's CRC-32.
 //
+// The optional <io> element shapes the asynchronous submission/completion
+// engine (src/io) the progressive reader routes its delta fetches through:
+// `depth` bounds the in-flight tier operations (1 = blocking, the default),
+// `batch` the ops per aggregated submission to the storage hierarchy, and
+// `deadline` the per-op simulated-latency deadline (a miss is recorded on
+// the io.deadline_misses counter, never enforced).
+//
 // The optional <serve> element configures the deadline-aware query
 // scheduler behind Pipeline::submit_query (src/serve): `workers` is the
 // service capacity, `queue-limit` bounds the admission queue (excess
@@ -82,6 +90,7 @@
 #include "cache/block_cache.hpp"
 #include "core/types.hpp"
 #include "fabric/fabric_config.hpp"
+#include "io/io_config.hpp"
 #include "obs/observability.hpp"
 #include "serve/serve_config.hpp"
 #include "storage/fault.hpp"
@@ -111,6 +120,11 @@ struct RuntimeConfig {
   /// uncached. make_hierarchy() attaches it; Pipeline::from_config also
   /// forwards it so a facade built from this config shares one cache.
   std::optional<canopus::cache::CacheConfig> cache;
+
+  /// Async-engine shape from the optional <io> element; nullopt keeps the
+  /// blocking read path (identical to IoConfig's depth-1 default). Forwarded
+  /// by Pipeline::from_config into every reader the pipeline opens.
+  std::optional<canopus::io::IoConfig> io;
 
   /// Query-scheduler knobs from the optional <serve> element; nullopt means
   /// Pipeline::submit_query falls back to ServeConfig defaults on first use.

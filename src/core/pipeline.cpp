@@ -116,6 +116,7 @@ Pipeline Pipeline::from_config(const core::RuntimeConfig& config) {
   options.observability = config.observability;
   options.cache = config.cache;
   options.serve = config.serve;
+  if (config.io.has_value()) options.io = *config.io;
   // make_hierarchy() already attaches the configured fault injector and retry
   // policy; leaving options.retry/faults unset avoids re-applying them.
   return Pipeline(config.make_hierarchy(), std::move(options));
@@ -189,6 +190,7 @@ Status Pipeline::read(const ReadRequest& request, ReadResult* result) {
 Status Pipeline::run_read(const ReadRequest& request, ReadResult* result) {
   core::ReaderOptions reader_options;
   reader_options.parallel = options_.parallel;
+  reader_options.io = options_.io;
   core::ProgressiveReader reader(*hierarchy_, request.path, request.var,
                                  request.geometry, reader_options);
   // Opening retrieved the base; refinement failures from here on are
@@ -224,6 +226,7 @@ Status Pipeline::open(const ReadRequest& request,
   try {
     core::ReaderOptions reader_options;
     reader_options.parallel = options_.parallel;
+    reader_options.io = options_.io;
     *reader = std::make_unique<core::ProgressiveReader>(
         *hierarchy_, request.path, request.var, request.geometry,
         reader_options);
@@ -246,6 +249,7 @@ Status Pipeline::open_session(const ReadRequest& request,
   try {
     core::ReaderOptions reader_options;
     reader_options.parallel = options_.parallel;
+    reader_options.io = options_.io;
     if (session_pool_.has_value()) {
       reader_options.shared_pool = &*session_pool_;
     }

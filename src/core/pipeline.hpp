@@ -171,6 +171,10 @@ struct PipelineOptions {
   /// these knobs (worker count, bounded admission queue, default deadline,
   /// priority aging). Leave unset to get ServeConfig defaults on first use.
   std::optional<serve::ServeConfig> serve;
+  /// Async I/O engine shape forwarded into every reader/session this
+  /// pipeline opens (core::ReaderOptions::io). The depth-1 default keeps the
+  /// blocking read path.
+  io::IoConfig io;
 };
 
 /// One concurrent progressive-read session, created by

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/delta.hpp"
+#include "io/io_ring.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "storage/blob_frame.hpp"
@@ -89,6 +90,7 @@ ProgressiveReader::ProgressiveReader(storage::StorageHierarchy& hierarchy,
   } else if (options.parallel.threads > 0) {
     local_pool_.emplace(options.parallel.threads);
   }
+  io_config_ = options.io;
   // Read-ahead needs at least one worker besides the applying thread; with a
   // single pinned worker the reader stays fully serial, by design.
   read_ahead_ = options.parallel.read_ahead && pool().size() > 1;
@@ -154,10 +156,11 @@ double ProgressiveReader::decimation_ratio() const {
 
 ProgressiveReader::PrefetchedLevel ProgressiveReader::fetch_level(
     std::uint32_t level) const {
-  // Chunks are fetched one after the other (only the decode fans out): the
-  // hierarchy then sees the same read sequence as the serial reader, which
-  // keeps tier access accounting — and the fault injector's seeded decision
-  // stream — reproducible.
+  // Chunks are issued in chunk order whether blocking or ring-backed (the
+  // ring executes its FIFO strictly in submission order): the hierarchy sees
+  // the same read sequence as the serial reader, which keeps tier access
+  // accounting — and the fault injector's seeded decision stream —
+  // reproducible.
   // The span runs on whichever thread fetches — the caller for a synchronous
   // fetch, a pool worker for the read-ahead — so the trace shows which reads
   // were overlapped.
@@ -170,9 +173,48 @@ ProgressiveReader::PrefetchedLevel ProgressiveReader::fetch_level(
     CANOPUS_CHECK(first != nullptr, "delta block missing");
     out.chunked = first->chunk_count > 1;
     out.chunks.reserve(first->chunk_count);
-    for (std::uint32_t c = 0; c < first->chunk_count; ++c) {
-      out.chunks.push_back(
-          reader_.fetch_chunk(var_, adios::BlockKind::kDelta, level, c));
+    if (io_config_.enabled() && first->chunk_count > 1) {
+      // Ring-backed read-ahead: same ops in the same order, but up to
+      // io.depth in flight; the overlapped makespan replaces the serial sum
+      // when the consuming step charges this level's I/O.
+      std::vector<const adios::BlockRecord*> recs(first->chunk_count, nullptr);
+      for (const auto& b : info.blocks) {
+        if (b.kind == adios::BlockKind::kDelta && b.level == level &&
+            b.chunk < recs.size()) {
+          recs[b.chunk] = &b;
+        }
+      }
+      io::IoRing ring(hierarchy_, io_config_, &pool());
+      for (const auto* r : recs) {
+        CANOPUS_CHECK(r != nullptr, "delta chunk record missing");
+        CANOPUS_CHECK(r->codec != "none", "block is opaque; use read_opaque");
+        ring.submit(r->object_key);
+      }
+      std::vector<double> costs;
+      costs.reserve(recs.size());
+      for (std::size_t c = 0; c < recs.size(); ++c) {
+        auto comp = ring.wait_next();
+        // First failed chunk stops the fetch, like the serial loop; the
+        // ring's destructor drops the not-yet-executed remainder.
+        if (comp.error) std::rethrow_exception(comp.error);
+        adios::BpReader::RawChunk raw;
+        raw.record = *recs[c];
+        raw.payload = std::move(comp.payload);
+        raw.io.io_sim_seconds = comp.io.sim_seconds;
+        raw.io.io_wall_seconds = comp.io.wall_seconds;
+        raw.io.bytes_read = comp.io.bytes;
+        raw.io.retries = comp.io.retries;
+        raw.io.corruptions = comp.io.corruptions;
+        raw.io.from_replica = comp.io.from_replica;
+        costs.push_back(comp.io.sim_seconds);
+        out.chunks.push_back(std::move(raw));
+      }
+      out.overlapped_io_seconds = io::overlap_makespan(costs, io_config_.depth);
+    } else {
+      for (std::uint32_t c = 0; c < first->chunk_count; ++c) {
+        out.chunks.push_back(
+            reader_.fetch_chunk(var_, adios::BlockKind::kDelta, level, c));
+      }
     }
   } catch (...) {
     out.error = std::current_exception();
@@ -185,6 +227,7 @@ ProgressiveReader::PrefetchedLevel ProgressiveReader::take_prefetch(
   auto& registry = obs::MetricsRegistry::global();
   if (prefetch_.valid()) {
     PrefetchedLevel p = prefetch_.get();
+    prefetch_level_.reset();
     if (p.level == level) {
       registry.counter("reader.prefetch_hits").add(1);
       return p;
@@ -224,6 +267,7 @@ void ProgressiveReader::start_prefetch(std::uint32_t level) {
     }
   }
   prefetch_ = pool().submit([this, level] { return fetch_level(level); });
+  prefetch_level_ = level;
 }
 
 mesh::Field ProgressiveReader::decode_level(PrefetchedLevel fetched,
@@ -233,6 +277,13 @@ mesh::Field ProgressiveReader::decode_level(PrefetchedLevel fetched,
   // the step that consumes it), then surface a fetch failure exactly as the
   // synchronous path would: partial timings kept, exception propagated.
   for (const auto& rc : fetched.chunks) fold(rc.io, step);
+  if (fetched.overlapped_io_seconds) {
+    // Ring-backed fetch: the chunks ran up to io.depth-way overlapped, so
+    // the step is charged their makespan, not the serial sum fold() added.
+    double serial_sum = 0.0;
+    for (const auto& rc : fetched.chunks) serial_sum += rc.io.io_sim_seconds;
+    step.io_seconds += *fetched.overlapped_io_seconds - serial_sum;
+  }
   if (fetched.error) std::rethrow_exception(fetched.error);
   chunked = fetched.chunked;
 
@@ -275,6 +326,125 @@ mesh::Field ProgressiveReader::decode_level(PrefetchedLevel fetched,
   return delta;
 }
 
+mesh::Field ProgressiveReader::retrieve_level(std::uint32_t level,
+                                              RetrievalTimings& step,
+                                              bool& chunked) {
+  if (io_config_.enabled()) {
+    const bool matching_prefetch =
+        prefetch_.valid() && prefetch_level_ && *prefetch_level_ == level;
+    if (!matching_prefetch) {
+      const auto info = reader_.inq_var(var_);
+      const auto* first = info.block(adios::BlockKind::kDelta, level);
+      CANOPUS_CHECK(first != nullptr, "delta block missing");
+      if (first->chunk_count > 1) {
+        if (prefetch_.valid()) {
+          // Stale read-ahead (the reader changed course): discard it, its
+          // speculative reads never enter the retrieval clock.
+          prefetch_.get();
+          prefetch_level_.reset();
+          obs::MetricsRegistry::global().counter("reader.prefetch_stale").add(1);
+        }
+        return decode_level_async(info, level, step, chunked);
+      }
+    }
+  }
+  return decode_level(take_prefetch(level), step, chunked);
+}
+
+mesh::Field ProgressiveReader::decode_level_async(const adios::VarInfo& info,
+                                                  std::uint32_t level,
+                                                  RetrievalTimings& step,
+                                                  bool& chunked) {
+  const auto* first = info.block(adios::BlockKind::kDelta, level);
+  CANOPUS_ASSERT(first != nullptr && first->chunk_count > 1);
+  chunked = true;
+  const std::size_t n = first->chunk_count;
+  CANOPUS_SPAN("read.fetch_async",
+               {{"level", level}, {"depth", static_cast<int>(io_config_.depth)}});
+  std::vector<const adios::BlockRecord*> recs(n, nullptr);
+  for (const auto& b : info.blocks) {
+    if (b.kind == adios::BlockKind::kDelta && b.level == level && b.chunk < n) {
+      recs[b.chunk] = &b;
+    }
+  }
+  io::IoRing ring(hierarchy_, io_config_, &pool());
+  for (const auto* r : recs) {
+    CANOPUS_CHECK(r != nullptr, "delta chunk record missing");
+    CANOPUS_CHECK(r->codec != "none", "block is opaque; use read_opaque");
+    ring.submit(r->object_key);
+  }
+  cache::BlockCache* cache = hierarchy_.block_cache();
+  std::vector<cache::BlockCache::ArrayPtr> parts(n);
+  std::vector<double> decode_seconds(n, 0.0);
+  std::vector<std::future<void>> decodes;
+  decodes.reserve(n);
+  std::vector<double> costs;
+  costs.reserve(n);
+  std::exception_ptr failure;
+  for (std::size_t c = 0; c < n; ++c) {
+    auto comp = ring.wait_next();
+    if (comp.error) {
+      // Mirror the serial reader: stop at the first failed chunk. Completed
+      // chunks keep their charges; submissions the ring never executed are
+      // dropped by its destructor, exactly as the serial loop never issues
+      // reads past a failure.
+      failure = comp.error;
+      break;
+    }
+    step.bytes_read += comp.io.bytes;
+    step.retries += comp.io.retries;
+    step.corruptions_detected += comp.io.corruptions;
+    if (comp.io.from_replica) ++step.replica_reads;
+    costs.push_back(comp.io.sim_seconds);
+    // Completion-driven continuation: this chunk's decode fires the moment
+    // its read lands, while later reads are still in flight — no level-wide
+    // fetch barrier. parts/decode_seconds writes are per-index disjoint.
+    auto payload = std::make_shared<util::Bytes>(std::move(comp.payload));
+    const adios::BlockRecord* rec = recs[c];
+    decodes.push_back(
+        pool().submit([cache, rec, payload, &parts, &decode_seconds, c] {
+          if (cache != nullptr) {
+            // Same decoded-array cache level as the blocking path: one
+            // session pays the decode, siblings reuse it.
+            parts[c] = cache
+                           ->get_or_load_array(
+                               storage::StorageHierarchy::decoded_alias(
+                                   rec->object_key),
+                               [&] {
+                                 return adios::BpReader::decode_chunk(
+                                     *rec, *payload, &decode_seconds[c]);
+                               })
+                           .array;
+          } else {
+            parts[c] = std::make_shared<const std::vector<double>>(
+                adios::BpReader::decode_chunk(*rec, *payload,
+                                              &decode_seconds[c]));
+          }
+        }));
+  }
+  // Join every decode before surfacing any failure — the tasks write into
+  // frame-local vectors.
+  std::exception_ptr decode_failure;
+  for (auto& f : decodes) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!decode_failure) decode_failure = std::current_exception();
+    }
+  }
+  step.io_seconds += io::overlap_makespan(costs, io_config_.depth);
+  for (const double s : decode_seconds) step.decompress_seconds += s;
+  if (failure) std::rethrow_exception(failure);
+  if (decode_failure) std::rethrow_exception(decode_failure);
+
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p->size();
+  mesh::Field delta;
+  delta.reserve(total);
+  for (const auto& p : parts) delta.insert(delta.end(), p->begin(), p->end());
+  return delta;
+}
+
 RetrievalTimings ProgressiveReader::degrade(RetrievalTimings step) {
   // The fetch failed after retries and replica fallback: keep the last good
   // level (values_/mesh_/current_level_ were not touched yet) and surface the
@@ -303,7 +473,7 @@ RetrievalTimings ProgressiveReader::refine() {
     // deltas already propagated through finer estimates.)
     if (skipped_ && skipped_->level == current_level_) backfill_skipped(step);
     bool chunked = false;
-    mesh::Field delta = decode_level(take_prefetch(next), step, chunked);
+    mesh::Field delta = retrieve_level(next, step, chunked);
     delta_rms = rms_of(delta);
 
     if (geometry_) {
@@ -574,6 +744,11 @@ double ProgressiveReader::estimated_refine_cost(std::uint32_t level) const {
   const auto info = reader_.inq_var(var_);
   const cache::BlockCache* cache = hierarchy_.block_cache();
   double cost = 0.0;
+  // Delta chunks in chunk order, for the ring model below: with the async
+  // engine on they run depth-way overlapped (and, uncached, with per-batch
+  // tier-latency amortization), so planning charges their makespan — the
+  // mirror of what the step's RetrievalTimings will actually report.
+  std::vector<std::pair<std::uint32_t, const adios::BlockRecord*>> deltas;
   for (const auto& b : info.blocks) {
     if (b.level != level) continue;
     const bool data = b.kind == adios::BlockKind::kDelta;
@@ -586,7 +761,41 @@ double ProgressiveReader::estimated_refine_cost(std::uint32_t level) const {
          cache->contains(storage::StorageHierarchy::decoded_alias(b.object_key)))) {
       continue;  // cache hits cost zero simulated seconds
     }
+    if (data && io_config_.enabled() && b.chunk_count > 1) {
+      deltas.emplace_back(b.chunk, &b);
+      continue;
+    }
     cost += hierarchy_.tier(b.tier).read_cost(b.stored_bytes);
+  }
+  if (!deltas.empty()) {
+    std::sort(deltas.begin(), deltas.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    const std::uint32_t batch = std::clamp<std::uint32_t>(
+        io_config_.batch == 0 ? 1 : io_config_.batch, 1, io_config_.depth);
+    std::vector<double> per_op;
+    per_op.reserve(deltas.size());
+    for (std::size_t i = 0; i < deltas.size(); ++i) {
+      const auto& b = *deltas[i].second;
+      if (cache != nullptr) {
+        // A hierarchy fronted by a block cache serves batches through the
+        // single-flight cache path — no round-trip amortization there.
+        per_op.push_back(hierarchy_.tier(b.tier).read_cost(b.stored_bytes));
+        continue;
+      }
+      // read_batch charges one tier round trip per batch: the first op of a
+      // batch that lands on a tier pays the latency, later same-tier ops pay
+      // bytes only.
+      bool first_on_tier = true;
+      for (std::size_t j = i - i % batch; j < i; ++j) {
+        if (deltas[j].second->tier == b.tier) {
+          first_on_tier = false;
+          break;
+        }
+      }
+      per_op.push_back(
+          hierarchy_.tier(b.tier).batched_read_cost(b.stored_bytes, first_on_tier));
+    }
+    cost += io::overlap_makespan(per_op, io_config_.depth);
   }
   return cost;
 }

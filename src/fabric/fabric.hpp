@@ -136,6 +136,10 @@ class Fabric {
                                   util::Bytes& out) override {
       return fabric_.remote_read_from(node_, key, out);
     }
+    std::vector<storage::BatchReadResult> remote_read_batch(
+        const std::vector<std::string>& keys) override {
+      return fabric_.remote_read_batch_from(node_, keys);
+    }
     double estimated_read_cost(const std::string& key,
                                std::size_t bytes) const override {
       return fabric_.estimated_remote_cost(node_, key, bytes);
@@ -160,6 +164,16 @@ class Fabric {
 
   storage::IoResult remote_read_from(std::size_t from_node,
                                      const std::string& key, util::Bytes& out);
+  /// Batched form feeding the async engine's ring: per-op resolution (owner →
+  /// replica fallback, counters, failures) is identical to remote_read_from,
+  /// but only the first op in the batch that actually crosses the network
+  /// pays the remote_latency_seconds envelope — later networked ops ride the
+  /// same round trip and pay only their bytes/remote_bandwidth share.
+  std::vector<storage::BatchReadResult> remote_read_batch_from(
+      std::size_t from_node, const std::vector<std::string>& keys);
+  storage::IoResult remote_read_one(std::size_t from_node,
+                                    const std::string& key, util::Bytes& out,
+                                    bool charge_latency, bool* crossed_network);
   void note_local_hit(std::size_t node, const std::string& key);
   void provider_loop(std::size_t node_index);
   void tick_eviction(std::size_t node_index);

@@ -1,0 +1,29 @@
+#pragma once
+// Knobs of the asynchronous submission/completion engine (io/io_ring.hpp),
+// split into their own header so the config loader and the Pipeline facade
+// can carry them without pulling in the engine.
+
+#include <cstdint>
+
+namespace canopus::io {
+
+/// Shape of one IoRing. The default depth of 1 IS the blocking path: every
+/// read completes before the next is submitted and the accounting degenerates
+/// to the plain per-op sum, so existing callers are unchanged until they opt
+/// in with depth > 1 (config `<io depth=...>` or the benches' --io-depth).
+struct IoConfig {
+  /// Bounded ring size: maximum tier operations in flight (submitted and not
+  /// yet consumed by the completion loop). 0 and 1 both mean blocking.
+  std::uint32_t depth = 1;
+  /// Maximum ops per aggregated submission to the hierarchy's batched seam
+  /// (StorageHierarchy::read_batch). Clamped to depth at run time.
+  std::uint32_t batch = 4;
+  /// Per-op simulated-clock deadline; an op whose sim cost (including retries
+  /// and backoff) exceeds it completes with deadline_missed set and bumps the
+  /// io.deadline_misses counter. 0 disables the check.
+  double deadline_seconds = 0.0;
+
+  bool enabled() const { return depth > 1; }
+};
+
+}  // namespace canopus::io

@@ -161,6 +161,70 @@ IoResult StorageHierarchy::read(const std::string& key, util::Bytes& out) const 
   return io;
 }
 
+std::vector<BatchReadResult> StorageHierarchy::read_batch(
+    const std::vector<std::string>& keys) const {
+  std::vector<BatchReadResult> out(keys.size());
+  if (cache_) {
+    // Cache-fronted ops keep the per-key single-flight protocol (hits free,
+    // one leader per miss); batching them under mu_ would deadlock against
+    // the cache's condition variable exactly as documented in read().
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      try {
+        out[i].io = read(keys[i], out[i].bytes);
+      } catch (...) {
+        out[i].error = std::current_exception();
+      }
+    }
+    return out;
+  }
+  std::vector<std::size_t> misses;
+  {
+    std::scoped_lock lock(mu_);
+    // Round-trip amortization: the first clean read from a tier in this batch
+    // pays the full submission latency, later ones on the same tier ride the
+    // same aggregated request (transfer cost only). Retries and replica
+    // fallbacks break out of the aggregate and keep their full per-attempt
+    // costs — a failed request is its own round trip.
+    std::vector<bool> latency_paid(tiers_.size(), false);
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      const auto where = find(keys[i]);
+      if (!where.has_value()) {
+        if (remote_ != nullptr) {
+          misses.push_back(i);
+        } else {
+          out[i].error = std::make_exception_ptr(
+              Error("object '" + keys[i] + "' not in hierarchy"));
+        }
+        continue;
+      }
+      try {
+        out[i].io = read_local(*where, keys[i], out[i].bytes);
+        if (out[i].io.retries == 0 && !out[i].io.from_replica) {
+          if (latency_paid[*where]) {
+            out[i].io.sim_seconds -= tiers_[*where]->spec().read_latency;
+          } else {
+            latency_paid[*where] = true;
+          }
+        }
+      } catch (...) {
+        out[i].error = std::current_exception();
+      }
+    }
+  }
+  if (!misses.empty()) {
+    // Remote resolution outside mu_, same deadlock rule as read_uncached().
+    std::vector<std::string> remote_keys;
+    remote_keys.reserve(misses.size());
+    for (const std::size_t i : misses) remote_keys.push_back(keys[i]);
+    auto remote_results = remote_->remote_read_batch(remote_keys);
+    CANOPUS_ASSERT(remote_results.size() == misses.size());
+    for (std::size_t j = 0; j < misses.size(); ++j) {
+      out[misses[j]] = std::move(remote_results[j]);
+    }
+  }
+  return out;
+}
+
 IoResult StorageHierarchy::read_uncached(const std::string& key,
                                          util::Bytes& out) const {
   {

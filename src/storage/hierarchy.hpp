@@ -28,6 +28,16 @@ class CapacityError : public Error {
   explicit CapacityError(const std::string& what) : Error(what) {}
 };
 
+/// Outcome of one operation of a batched read (read_batch /
+/// RemoteStore::remote_read_batch): the payload and I/O accounting on
+/// success, or the captured failure — a batch never throws as a whole, each
+/// op fails independently exactly as its serial read() would.
+struct BatchReadResult {
+  util::Bytes bytes;
+  IoResult io;
+  std::exception_ptr error;  // null on success; bytes empty when set
+};
+
 /// Resolver for objects that are not on any local tier — the hook the
 /// cluster fabric (src/fabric) plugs in so N node-local hierarchies behave
 /// like one aggregate store. StorageHierarchy::read() consults it on a local
@@ -41,6 +51,23 @@ class RemoteStore {
   /// including the network envelope. Called only after a local miss; throws
   /// TierIoError when no reachable peer has a copy.
   virtual IoResult remote_read(const std::string& key, util::Bytes& out) = 0;
+
+  /// Batched variant used by read_batch() for a run of local misses: resolves
+  /// every key, capturing each op's failure in its slot instead of throwing.
+  /// The default loops remote_read(); the fabric overrides it to amortize the
+  /// per-message network latency across the batch (one aggregated request).
+  virtual std::vector<BatchReadResult> remote_read_batch(
+      const std::vector<std::string>& keys) {
+    std::vector<BatchReadResult> out(keys.size());
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      try {
+        out[i].io = remote_read(keys[i], out[i].bytes);
+      } catch (...) {
+        out[i].error = std::current_exception();
+      }
+    }
+    return out;
+  }
 
   /// Planning estimate of remote_read()'s simulated cost for a `bytes`-sized
   /// object (owner tier cost + network envelope). No side effects: the serve
@@ -143,6 +170,23 @@ class StorageHierarchy {
   /// only when every copy is exhausted; always verifies that the bytes
   /// returned match the recorded object size.
   IoResult read(const std::string& key, util::Bytes& out) const;
+
+  /// Batched submission seam for the async I/O engine (src/io): reads every
+  /// key as one aggregated submission, returning per-op results in key order.
+  /// Semantics per op are identical to read() — same retry/backoff loop,
+  /// replica fallback, cache single-flight, remote resolution, and (because
+  /// ops execute in key order under one lock acquisition) the same seeded
+  /// fault-injector decision stream as the serial loop. Two things differ:
+  /// failures are captured per op instead of thrown, and on the direct tier
+  /// path consecutive clean reads from one tier within the batch share the
+  /// submission round trip — ops after the tier's first pay transfer cost
+  /// only (StorageTier::batched_read_cost), modeling one I/O-aggregator
+  /// request per storage target. Retried, replica-served, and cache-fronted
+  /// ops keep full per-op costs. Local misses are deferred and resolved
+  /// through RemoteStore::remote_read_batch after the lock is released (same
+  /// lock-ordering rule as read()).
+  std::vector<BatchReadResult> read_batch(
+      const std::vector<std::string>& keys) const;
 
   /// Tier currently holding the object, or nullopt.
   std::optional<std::size_t> find(const std::string& key) const;

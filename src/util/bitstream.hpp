@@ -52,7 +52,8 @@ class BitWriter {
       fill_ = 0;
     }
     Bytes out(words_.size() * sizeof(std::uint64_t));
-    std::memcpy(out.data(), words_.data(), out.size());
+    // An empty stream has no backing word storage; memcpy rejects null.
+    if (!out.empty()) std::memcpy(out.data(), words_.data(), out.size());
     words_.clear();
     return out;
   }

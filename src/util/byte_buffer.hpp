@@ -136,7 +136,7 @@ class ByteReader {
     CANOPUS_CHECK(n <= (view_.size() - pos_) / sizeof(T), "vector length corrupt");
     std::vector<T> v(n);
     auto raw = get_bytes(n * sizeof(T));
-    std::memcpy(v.data(), raw.data(), raw.size());
+    if (!raw.empty()) std::memcpy(v.data(), raw.data(), raw.size());
     return v;
   }
 
@@ -166,7 +166,8 @@ std::vector<T> from_bytes(BytesView bytes) {
   static_assert(std::is_trivially_copyable_v<T>);
   CANOPUS_CHECK(bytes.size() % sizeof(T) == 0, "byte size not a multiple of element size");
   std::vector<T> v(bytes.size() / sizeof(T));
-  std::memcpy(v.data(), bytes.data(), bytes.size());
+  // An empty view may carry a null data() pointer, which memcpy must not see.
+  if (!bytes.empty()) std::memcpy(v.data(), bytes.data(), bytes.size());
   return v;
 }
 

@@ -4,9 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
+#include <cstdint>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "compress/codec.hpp"
 #include "compress/fpc.hpp"
@@ -16,6 +19,7 @@
 #include "compress/sz_like.hpp"
 #include "compress/zfp_like.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 #include "util/stats.hpp"
 
 namespace cc = canopus::compress;
@@ -466,5 +470,82 @@ TEST(Fuzz, BitFlippedStreamsThrowOrStayBounded) {
         // expected
       }
     }
+  }
+}
+
+// ----------------------------------------------------- simd equivalence --
+
+// The vectorized block transforms and the dequantization pass are speed-only:
+// forced-scalar and runtime-dispatched runs must agree bit for bit, and the
+// transforms must stay exactly invertible either way.
+TEST(Simd, ZfpTransformsMatchScalarBitwise) {
+  cu::Rng rng(91);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::array<std::int64_t, cc::detail::kZfpBlock> block;
+    for (auto& v : block) {
+      // Quantized significands: well inside the lifting's headroom.
+      v = static_cast<std::int64_t>(rng.next_u64() >> 20) - (1ll << 43);
+    }
+    auto scalar_fwd = block;
+    auto simd_fwd = block;
+    {
+      cu::simd::ScopedForceScalar force;
+      cc::detail::forward_transform64(scalar_fwd.data());
+    }
+    cc::detail::forward_transform64(simd_fwd.data());
+    EXPECT_EQ(scalar_fwd, simd_fwd) << "trial " << trial;
+
+    auto scalar_inv = scalar_fwd;
+    auto simd_inv = simd_fwd;
+    {
+      cu::simd::ScopedForceScalar force;
+      cc::detail::inverse_transform64(scalar_inv.data());
+    }
+    cc::detail::inverse_transform64(simd_inv.data());
+    EXPECT_EQ(scalar_inv, simd_inv) << "trial " << trial;
+    EXPECT_EQ(simd_inv, block) << "trial " << trial;  // exact round-trip
+  }
+}
+
+TEST(Simd, SzDequantMatchesScalarBitwise) {
+  cu::Rng rng(92);
+  // Odd length exercises the vector tail; codes span the full emitted range
+  // (|q| <= 2^20 zigzagged).
+  const std::size_t n = 1013;
+  std::vector<std::uint64_t> codes(n);
+  for (auto& c : codes) c = rng.next_u64() % ((1u << 21) + 1);
+  std::vector<double> scalar_out(n), simd_out(n);
+  {
+    cu::simd::ScopedForceScalar force;
+    cc::detail::dequant_codes(codes.data(), n, 1e-4, scalar_out.data());
+  }
+  cc::detail::dequant_codes(codes.data(), n, 1e-4, simd_out.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(scalar_out[i], simd_out[i]) << "code " << codes[i];
+  }
+}
+
+TEST(Simd, SzCodecRoundTripMatchesScalarBitwise) {
+  cu::Rng rng(93);
+  std::vector<double> values(4096);
+  double acc = 0.0;
+  for (auto& v : values) {
+    acc += rng.uniform(-1.0, 1.0);
+    v = acc;  // random walk: mostly predictable, occasional big steps
+  }
+  const double eb = 1e-6;
+  cu::Bytes scalar_stream;
+  std::vector<double> scalar_decoded;
+  {
+    cu::simd::ScopedForceScalar force;
+    scalar_stream = cc::sz_encode(values, eb);
+    scalar_decoded = cc::sz_decode(scalar_stream);
+  }
+  const auto simd_stream = cc::sz_encode(values, eb);
+  EXPECT_EQ(scalar_stream, simd_stream);
+  const auto simd_decoded = cc::sz_decode(simd_stream);
+  ASSERT_EQ(scalar_decoded.size(), simd_decoded.size());
+  for (std::size_t i = 0; i < simd_decoded.size(); ++i) {
+    EXPECT_EQ(scalar_decoded[i], simd_decoded[i]) << "value " << i;
   }
 }

@@ -14,6 +14,7 @@
 #include "mesh/generators.hpp"
 #include "mesh/validate.hpp"
 #include "storage/hierarchy.hpp"
+#include "util/simd.hpp"
 #include "util/stats.hpp"
 
 namespace cc = canopus::core;
@@ -484,4 +485,43 @@ TEST(ProgressiveReader, RefineUntilValidatesThreshold) {
   // refine all the way to full accuracy.
   reader.refine_until(-1.0);
   EXPECT_TRUE(reader.at_full_accuracy());
+}
+
+// ----------------------------------------------------- simd equivalence --
+
+// The vectorized estimate/residual loops (including the in-register
+// transpose of the barycentric weights) are speed-only: every estimate mode
+// must produce the exact bytes of the scalar loop, delta and restore alike.
+TEST(Delta, SimdMatchesScalarBitwiseAllModes) {
+  const auto fine_mesh = cm::make_annulus_mesh(12, 80, 0.5, 1.0, 0.15, 3);
+  const auto fine_values = smooth_field(fine_mesh);
+  cm::DecimateOptions opt;
+  opt.ratio = 2.0;
+  const auto coarse = cm::decimate(fine_mesh, fine_values, opt);
+  const auto mapping = cc::build_mapping(fine_mesh, coarse.mesh);
+
+  for (const auto mode :
+       {cc::EstimateMode::kUniformThirds, cc::EstimateMode::kBarycentric,
+        cc::EstimateMode::kNearestVertex}) {
+    cm::Field scalar_delta, scalar_restored;
+    {
+      cu::simd::ScopedForceScalar force;
+      scalar_delta = cc::compute_delta(coarse.mesh, coarse.values, fine_values,
+                                       mapping, mode);
+      scalar_restored = cc::restore_level(coarse.mesh, coarse.values,
+                                          scalar_delta, mapping, mode);
+    }
+    const auto simd_delta = cc::compute_delta(coarse.mesh, coarse.values,
+                                              fine_values, mapping, mode);
+    const auto simd_restored = cc::restore_level(
+        coarse.mesh, coarse.values, simd_delta, mapping, mode);
+
+    ASSERT_EQ(scalar_delta.size(), simd_delta.size());
+    for (std::size_t i = 0; i < simd_delta.size(); ++i) {
+      ASSERT_EQ(scalar_delta[i], simd_delta[i])
+          << "mode " << static_cast<int>(mode) << " vertex " << i;
+      ASSERT_EQ(scalar_restored[i], simd_restored[i])
+          << "mode " << static_cast<int>(mode) << " vertex " << i;
+    }
+  }
 }

@@ -9,6 +9,7 @@
 
 #include "core/canopus.hpp"
 #include "core/config.hpp"
+#include "io/io_ring.hpp"
 #include "sim/datasets.hpp"
 #include "storage/blob_frame.hpp"
 #include "storage/fault.hpp"
@@ -16,6 +17,8 @@
 #include "util/crc32.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
+
+#include "test_support.hpp"
 
 namespace cc = canopus::core;
 namespace cs = canopus::storage;
@@ -659,4 +662,142 @@ TEST(CacheFaults, CorruptBlobsNeverPoisonLaterReaders) {
             3.0 * config.error_bound);
   // And the cached-read accounting says so: zero simulated I/O for deltas.
   EXPECT_GT(cache->stats().hits, 0u);
+}
+
+// ------------------------------------------------- batched submission ----
+
+// Batched submission changes when I/O happens, never what happens to each
+// op: every fault-handling behavior of read() — retry accounting, replica
+// fallback, terminal errors — must survive the ring's read_batch path.
+TEST(BatchedFaults, RingPreservesRetryAndReplicaSemantics) {
+  cs::StorageHierarchy h({cs::tmpfs_spec(1 << 20), cs::lustre_spec(1 << 20)});
+  const auto ok_blob = make_blob(300, 4);
+  const auto rep_blob = make_blob(400, 8);
+  h.place("ok", ok_blob);
+  h.place_with_replica("rep", rep_blob);
+  ASSERT_EQ(h.replica_tier("rep"), std::optional<std::size_t>(1));
+
+  auto inj = std::make_shared<cs::FaultInjector>(1);
+  cs::FaultProfile p;
+  p.read_error = 1.0;  // every primary (tier 0) copy is gone for good
+  inj->set_profile(0, p);
+  h.attach_fault_injector(inj);
+
+  canopus::io::IoConfig cfg;
+  cfg.depth = 4;
+  cfg.batch = 4;  // all three ops ride a single read_batch submission
+  canopus::io::IoRing ring(h, cfg);
+  ring.submit("ok");
+  ring.submit("rep");
+  ring.submit("missing");
+
+  // "ok" has no replica: batched submission exhausts the same retry budget
+  // and surfaces the same terminal error as a serial read.
+  const auto a = ring.wait_next();
+  ASSERT_TRUE(a.error);
+  EXPECT_THROW(std::rethrow_exception(a.error), cs::TierIoError);
+
+  // "rep" falls back to its replica copy with full retry accounting.
+  const auto b = ring.wait_next();
+  ASSERT_FALSE(b.error);
+  EXPECT_EQ(b.payload, rep_blob);
+  EXPECT_TRUE(b.io.from_replica);
+  EXPECT_EQ(b.io.retries, h.retry_policy().max_attempts);
+
+  // A key that never existed fails cleanly alongside the faulted ops.
+  const auto c = ring.wait_next();
+  ASSERT_TRUE(c.error);
+  EXPECT_THROW(std::rethrow_exception(c.error), canopus::Error);
+}
+
+// Seeded sweep: an async reader (depth-4 ring, chunked deltas) pointed at a
+// flaky tier must always terminate cleanly — refined to full accuracy within
+// the error bound, or degraded without corrupting reader state. The seed is
+// part of every failure message so CI reds replay locally.
+TEST(ReaderDegradation, AsyncSweepSurvivesFaultInjection) {
+  const auto ds = tiny_xgc();
+  const std::uint64_t base_seed = canopus::test::test_seed();
+  for (std::uint64_t case_id = 0; case_id < 4; ++case_id) {
+    const std::uint64_t seed = base_seed * 1000 + 37 * case_id + 5;
+    SCOPED_TRACE("fault seed " + std::to_string(seed) +
+                 " (CANOPUS_TEST_SEED=" + std::to_string(base_seed) + ")");
+
+    cs::StorageHierarchy tiers(
+        {cs::tmpfs_spec(8 << 20), cs::lustre_spec(1 << 30)});
+    cc::RefactorConfig config;
+    config.levels = 4;
+    config.codec = "zfp";
+    config.error_bound = 1e-5;
+    config.delta_chunks = 8;
+    cc::refactor_and_write(tiers, "sweep.bp", ds.variable, ds.mesh, ds.values,
+                           config);
+
+    auto inj = std::make_shared<cs::FaultInjector>(seed);
+    cs::FaultProfile p;
+    p.read_error = 0.15;
+    p.corrupt = 0.01;
+    inj->set_profile(1, p);
+    tiers.attach_fault_injector(inj);
+    cs::RetryPolicy retry;
+    retry.max_attempts = 8;
+    tiers.set_retry_policy(retry);
+
+    cc::ReaderOptions opts;
+    opts.parallel.threads = 4;
+    opts.io.depth = 4;
+    opts.io.batch = 2;
+    cc::ProgressiveReader reader(tiers, "sweep.bp", ds.variable, nullptr,
+                                 opts);
+    ASSERT_NO_THROW(reader.refine_to(0));
+    if (reader.at_full_accuracy()) {
+      EXPECT_LE(cu::max_abs_error(ds.values, reader.values()),
+                5.0 * config.error_bound);
+    } else {
+      // Degraded, never thrown: the reader holds its last good level.
+      EXPECT_EQ(reader.last_status(), cc::RefineStatus::kDegraded);
+      EXPECT_GT(reader.cumulative().degraded_steps, 0u);
+    }
+    // The reader's fault ledger never undercounts: every injected read error
+    // and corruption was either retried or ended a degraded step.
+    EXPECT_GT(inj->counters().read_errors + inj->counters().corruptions, 0u);
+  }
+}
+
+// A fully dead delta tier degrades the async reader exactly like the
+// blocking one — and recovery resumes completion-driven refinement.
+TEST(ReaderDegradation, AsyncReaderDegradesAndRecovers) {
+  const auto ds = tiny_xgc();
+  cs::StorageHierarchy tiers(
+      {cs::tmpfs_spec(8 << 20), cs::lustre_spec(1 << 30)});
+  cc::RefactorConfig config;
+  config.levels = 3;
+  config.codec = "zfp";
+  config.error_bound = 1e-5;
+  config.delta_chunks = 8;
+  cc::refactor_and_write(tiers, "deg2.bp", ds.variable, ds.mesh, ds.values,
+                         config);
+
+  cc::ReaderOptions opts;
+  opts.parallel.threads = 4;
+  opts.parallel.read_ahead = false;
+  opts.io.depth = 4;
+  cc::ProgressiveReader reader(tiers, "deg2.bp", ds.variable, nullptr, opts);
+  const auto base_values = reader.values();
+
+  auto inj = std::make_shared<cs::FaultInjector>(2);
+  cs::FaultProfile p;
+  p.read_error = 1.0;
+  inj->set_profile(1, p);
+  tiers.attach_fault_injector(inj);
+
+  reader.refine();  // must NOT throw
+  EXPECT_EQ(reader.last_status(), cc::RefineStatus::kDegraded);
+  EXPECT_EQ(reader.values(), base_values);
+
+  tiers.attach_fault_injector(nullptr);
+  reader.refine_to(0);
+  EXPECT_EQ(reader.last_status(), cc::RefineStatus::kOk);
+  EXPECT_TRUE(reader.at_full_accuracy());
+  EXPECT_LE(cu::max_abs_error(ds.values, reader.values()),
+            3.0 * config.error_bound);
 }

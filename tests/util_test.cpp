@@ -10,7 +10,9 @@
 #include "util/bitstream.hpp"
 #include "util/byte_buffer.hpp"
 #include "util/cli.hpp"
+#include "util/crc32.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -272,4 +274,49 @@ TEST(Cli, ParsesFlagsAndPositionals) {
   EXPECT_EQ(cli.get("missing", "dflt"), "dflt");
   ASSERT_EQ(cli.positional().size(), 1u);
   EXPECT_EQ(cli.positional()[0], "input.bp");
+}
+
+// ----------------------------------------------------- simd dispatch --
+
+TEST(Simd, ForceScalarScopesNestAndRestore) {
+  const bool was = cu::simd::enabled();
+  {
+    cu::simd::ScopedForceScalar outer;
+    EXPECT_FALSE(cu::simd::enabled());
+    EXPECT_EQ(cu::simd::active_isa(), cu::simd::Isa::kScalar);
+    {
+      cu::simd::ScopedForceScalar inner;
+      EXPECT_FALSE(cu::simd::enabled());
+    }
+    EXPECT_FALSE(cu::simd::enabled());  // still inside the outer scope
+  }
+  EXPECT_EQ(cu::simd::enabled(), was);
+}
+
+TEST(Simd, Crc32MatchesScalarAcrossSizesAndSplits) {
+  // The slice-by-8 path kicks in at 8-byte granularity; every length and
+  // split point must agree with the bytewise table walk exactly.
+  cu::Rng rng(7);
+  std::vector<std::byte> buf(4096 + 7);
+  for (auto& b : buf) b = static_cast<std::byte>(rng.uniform_index(256));
+  for (std::size_t len : {0u, 1u, 7u, 8u, 9u, 63u, 512u, 4096u, 4103u}) {
+    std::uint32_t scalar_crc = 0;
+    {
+      cu::simd::ScopedForceScalar force;
+      cu::Crc32 c;
+      c.update(buf.data(), len);
+      scalar_crc = c.value();
+    }
+    cu::Crc32 fast;
+    fast.update(buf.data(), len);
+    EXPECT_EQ(fast.value(), scalar_crc) << "len " << len;
+
+    // Incremental updates with a misaligned split agree too.
+    if (len > 3) {
+      cu::Crc32 split;
+      split.update(buf.data(), 3);
+      split.update(buf.data() + 3, len - 3);
+      EXPECT_EQ(split.value(), scalar_crc) << "len " << len;
+    }
+  }
 }
