@@ -473,6 +473,17 @@ storage::StorageHierarchy RuntimeConfig::make_hierarchy() const {
   return hierarchy;
 }
 
+canopus::Options RuntimeConfig::options() const {
+  canopus::Options out;
+  out.parallel = refactor.parallel;
+  out.observability = observability;
+  out.cache = cache;
+  out.serve = serve;
+  out.fabric = fabric;
+  if (io.has_value()) out.io = *io;
+  return out;
+}
+
 RuntimeConfig load_config_file(const std::string& path) {
   std::ifstream f(path);
   CANOPUS_CHECK(f.good(), "cannot open config file: " + path);

@@ -88,6 +88,7 @@
 #include <vector>
 
 #include "cache/block_cache.hpp"
+#include "core/options.hpp"
 #include "core/types.hpp"
 #include "fabric/fabric_config.hpp"
 #include "io/io_config.hpp"
@@ -140,6 +141,12 @@ struct RuntimeConfig {
   /// Builds the configured hierarchy, with the fault injector attached and
   /// the retry policy applied when the document configured them.
   storage::StorageHierarchy make_hierarchy() const;
+
+  /// The document's option blocks as one canopus::Options (parallel,
+  /// observability, cache, io, serve, fabric). retry and faults are left
+  /// unset on purpose: make_hierarchy() already applies them, and a Pipeline
+  /// built from (make_hierarchy(), options()) must not apply them twice.
+  canopus::Options options() const;
 };
 
 /// Parses a configuration document; throws Error with a description of the

@@ -11,52 +11,15 @@
 
 namespace canopus {
 
-std::string to_string(StatusCode code) {
-  switch (code) {
-    case StatusCode::kOk: return "ok";
-    case StatusCode::kRetried: return "retried";
-    case StatusCode::kDegraded: return "degraded";
-    case StatusCode::kInvalidArgument: return "invalid-argument";
-    case StatusCode::kNotFound: return "not-found";
-    case StatusCode::kIoError: return "io-error";
-    case StatusCode::kIntegrityError: return "integrity-error";
-    case StatusCode::kCapacity: return "capacity";
-    case StatusCode::kInternal: return "internal";
-    case StatusCode::kOverloaded: return "overloaded";
-  }
-  return "unknown";
-}
-
-std::string Status::to_string() const {
-  std::string out = canopus::to_string(code);
-  if (!detail.empty()) out += ": " + detail;
-  return out;
-}
-
 namespace {
 
-/// Maps an in-flight exception to a Status. `not_found_on_error` selects the
-/// meaning of a generic canopus::Error: on the open path a missing container
-/// or variable surfaces as Error, so kNotFound; elsewhere it is an internal
-/// invariant failure.
+/// Facade shorthand over the shared mapper (core/status.hpp):
+/// `not_found_on_error` selects the meaning of a generic canopus::Error —
+/// on the open path a missing container or variable surfaces as Error, so
+/// kNotFound; elsewhere it is an internal invariant failure.
 Status status_from_exception(bool not_found_on_error) {
-  try {
-    throw;
-  } catch (const storage::CapacityError& e) {
-    return Status::failure(StatusCode::kCapacity, e.what());
-  } catch (const storage::IntegrityError& e) {
-    return Status::failure(StatusCode::kIntegrityError, e.what());
-  } catch (const storage::TierIoError& e) {
-    return Status::failure(StatusCode::kIoError, e.what());
-  } catch (const Error& e) {
-    return Status::failure(
-        not_found_on_error ? StatusCode::kNotFound : StatusCode::kInternal,
-        e.what());
-  } catch (const std::exception& e) {
-    return Status::failure(StatusCode::kInternal, e.what());
-  } catch (...) {
-    return Status::failure(StatusCode::kInternal, "unknown exception");
-  }
+  return status_from_current_exception(
+      not_found_on_error ? StatusCode::kNotFound : StatusCode::kInternal);
 }
 
 /// Post-read classification: fold the reader's refine outcome and robustness
@@ -95,6 +58,10 @@ Pipeline::Pipeline(storage::StorageHierarchy&& hierarchy, PipelineOptions option
 }
 
 void Pipeline::apply_options() {
+  // One pass, up front: a bad knob surfaces as a contextual canopus::Error
+  // here (or a kInvalidArgument Status through load()) instead of a
+  // CANOPUS_CHECK abort deep inside the subsystem it configures.
+  options_.validate();
   if (options_.observability.has_value()) obs::install(*options_.observability);
   if (options_.retry.has_value()) hierarchy_->set_retry_policy(*options_.retry);
   if (options_.faults) hierarchy_->attach_fault_injector(options_.faults);
@@ -111,19 +78,52 @@ void Pipeline::apply_options() {
 }
 
 Pipeline Pipeline::from_config(const core::RuntimeConfig& config) {
-  PipelineOptions options;
-  options.parallel = config.refactor.parallel;
-  options.observability = config.observability;
-  options.cache = config.cache;
-  options.serve = config.serve;
-  if (config.io.has_value()) options.io = *config.io;
   // make_hierarchy() already attaches the configured fault injector and retry
-  // policy; leaving options.retry/faults unset avoids re-applying them.
-  return Pipeline(config.make_hierarchy(), std::move(options));
+  // policy; config.options() leaves retry/faults unset to avoid re-applying
+  // them.
+  return Pipeline(config.make_hierarchy(), config.options());
 }
 
 Pipeline Pipeline::from_config_file(const std::string& path) {
   return from_config(core::load_config_file(path));
+}
+
+Status Pipeline::load(const core::RuntimeConfig& config,
+                      std::unique_ptr<Pipeline>* pipeline) {
+  if (pipeline == nullptr) {
+    return Status::failure(StatusCode::kInvalidArgument,
+                           "load: pipeline must not be null");
+  }
+  try {
+    // Pipeline has no move constructor (hierarchy_ points into owned_), so
+    // build in place rather than moving from_config's return.
+    pipeline->reset(
+        new Pipeline(config.make_hierarchy(), config.options()));
+    return Status::success();
+  } catch (...) {
+    // A malformed or inconsistent config is a caller bug, not an internal
+    // failure: generic Errors (Options::validate, CANOPUS_CHECKs in the
+    // config loader) map to kInvalidArgument.
+    return status_from_current_exception(StatusCode::kInvalidArgument);
+  }
+}
+
+Status Pipeline::load(const std::string& config_path,
+                      std::unique_ptr<Pipeline>* pipeline) {
+  if (pipeline == nullptr) {
+    return Status::failure(StatusCode::kInvalidArgument,
+                           "load: pipeline must not be null");
+  }
+  core::RuntimeConfig config;
+  try {
+    config = core::load_config_file(config_path);
+  } catch (...) {
+    // A missing or unreadable file is kNotFound; parse errors inside an
+    // existing file are still generic Errors and land there too — the
+    // detail string disambiguates.
+    return status_from_current_exception(StatusCode::kNotFound);
+  }
+  return load(config, pipeline);
 }
 
 Status Pipeline::write(const WriteRequest& request, WriteResult* result) {
@@ -291,6 +291,17 @@ Status ReadSession::refine_until(double rmse_threshold) {
     return status_from_read(reader_->last_status(), acc);
   } catch (...) {
     return status_from_exception(/*not_found_on_error=*/false);
+  }
+}
+
+Status Pipeline::flush_trace(std::string* path_out) {
+  try {
+    std::string path = obs::flush();
+    if (path_out != nullptr) *path_out = std::move(path);
+    return Status::success();
+  } catch (...) {
+    // obs::flush throws on an unwritable sink path; surface it as I/O.
+    return status_from_current_exception(StatusCode::kIoError);
   }
 }
 

@@ -5,9 +5,10 @@
 // refactor_and_write overloads, a many-argument ProgressiveReader
 // constructor, exceptions on some paths and RefineStatus + counters on
 // others. Pipeline consolidates it: option-struct requests, one
-// Status-returning entry point per direction, and one place (PipelineOptions)
-// where concurrency, fault policy, and observability are configured instead
-// of growing every signature.
+// Status-returning entry point per direction, and one place
+// (canopus::Options, core/options.hpp) where concurrency, fault policy,
+// caching, serving, and the cluster shape are configured instead of growing
+// every signature.
 //
 //   storage::StorageHierarchy tiers({...});
 //   Pipeline pipeline(tiers);
@@ -24,11 +25,24 @@
 //   ReadResult data;
 //   Status rs = pipeline.read(rreq, &data);  // rs.degraded => partial accuracy
 //
+// Error-reporting invariant (core/status.hpp, DESIGN.md §14): every public
+// entry point on Pipeline and ReadSession returns a Status; exceptions from
+// the layers underneath are mapped at this boundary and never escape.
+//
+// The facade is also the cluster control plane: attach_fabric() plugs a
+// fabric::Fabric in, after which attach_node()/drain_node()/detach_node()/
+// rebalance() grow and shrink the topology at runtime while queries keep
+// being served, and topology() snapshots it (core/topology.hpp). Those
+// members are defined in the fabric module (src/fabric/pipeline_fabric.cpp),
+// mirroring how submit_query() lives in serve — core itself references
+// neither module's symbols.
+//
 // The pre-facade entry points (core::refactor_and_write overloads and the
 // core::ProgressiveReader constructor) remain as thin deprecated wrappers
 // around the same engine for source compatibility; new code should come in
 // through Pipeline.
 
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -37,8 +51,11 @@
 #include "cache/block_cache.hpp"
 #include "core/config.hpp"
 #include "core/geometry_cache.hpp"
+#include "core/options.hpp"
 #include "core/progressive_reader.hpp"
 #include "core/refactorer.hpp"
+#include "core/status.hpp"
+#include "core/topology.hpp"
 #include "obs/observability.hpp"
 #include "serve/serve_config.hpp"
 #include "storage/hierarchy.hpp"
@@ -56,48 +73,17 @@ struct QueryResult;
 class QueryScheduler;
 }  // namespace serve
 
-/// Unified result classification for every facade operation. Replaces the
-/// mixed error reporting of the pre-facade API: thrown canopus::Error /
-/// storage::TierIoError / storage::IntegrityError on some paths,
-/// core::RefineStatus plus robustness counters on others.
-enum class StatusCode : std::uint8_t {
-  kOk = 0,            // completed, no faults along the way
-  kRetried = 1,       // completed after tier retries or a replica fallback
-  kDegraded = 2,      // result usable but at reduced accuracy (read path)
-  kInvalidArgument = 3,  // malformed request (caller bug)
-  kNotFound = 4,      // container or variable does not exist
-  kIoError = 5,       // tier I/O failed after every retry and replica
-  kIntegrityError = 6,  // corruption detected and no clean copy remained
-  kCapacity = 7,      // no tier can hold the data (write path)
-  kInternal = 8,      // unexpected failure; detail carries the message
-  kOverloaded = 9,    // query shed by admission control (serve path); the
-                      // client should back off and retry, possibly coarser
-};
+// Same pattern for the cluster fabric: the control-plane members touching
+// fabric::Fabric are defined in src/fabric/pipeline_fabric.cpp.
+namespace fabric {
+class Fabric;
+}  // namespace fabric
 
-std::string to_string(StatusCode code);
-
-/// Outcome of one Pipeline operation: code + human-readable detail + whether
-/// a usable-but-reduced-accuracy result was produced (the elastic-accuracy
-/// contract: a degraded read keeps the last good level instead of failing).
-struct Status {
-  StatusCode code = StatusCode::kOk;
-  std::string detail;
-  bool degraded = false;
-
-  /// Completed at full requested fidelity (kOk or kRetried).
-  bool ok() const {
-    return code == StatusCode::kOk || code == StatusCode::kRetried;
-  }
-  /// Produced a usable result (ok, or degraded with data to analyze).
-  bool usable() const { return ok() || degraded; }
-
-  std::string to_string() const;  // "code" or "code: detail"
-
-  static Status success() { return {}; }
-  static Status failure(StatusCode code, std::string detail) {
-    return {code, std::move(detail), false};
-  }
-};
+/// Deprecated spelling of canopus::Options, kept so pre-PR-8 call sites
+/// (designated initializers over the same member names) compile unchanged.
+/// New code should spell it canopus::Options; see README.md's migration
+/// table.
+using PipelineOptions = Options;
 
 /// Everything one refactor-and-write needs. Provide either (mesh, values) —
 /// the full decimate/delta/compress/place pipeline — or a prebuilt cascade
@@ -109,7 +95,7 @@ struct WriteRequest {
   const mesh::Field* values = nullptr;
   const mesh::Cascade* cascade = nullptr;
   /// Refactoring knobs. `config.parallel` is ignored: concurrency comes from
-  /// PipelineOptions so it is configured once per pipeline, not per call.
+  /// canopus::Options so it is configured once per pipeline, not per call.
   core::RefactorConfig config;
 };
 
@@ -145,36 +131,6 @@ struct ReadResult {
   std::uint32_t level = 0;
   core::RetrievalTimings timings;  // includes the base retrieval
   core::RefineStatus refine_status = core::RefineStatus::kOk;
-};
-
-/// Pipeline-lifetime configuration: the one place instrumentation, fault
-/// policy, and concurrency are set.
-struct PipelineOptions {
-  /// Worker count / pipeline overlap / read-ahead for both directions.
-  core::ParallelConfig parallel;
-  /// When set, obs::install()ed at construction (enables or disables
-  /// process-wide metrics+tracing). Leave unset to keep the current global
-  /// observability state (e.g. a bench already enabled --trace-out).
-  std::optional<obs::ObservabilityOptions> observability;
-  /// When set, applied to the hierarchy at construction.
-  std::optional<storage::RetryPolicy> retry;
-  /// When set, attached to the hierarchy at construction (seeded fault
-  /// injection for robustness testing).
-  std::shared_ptr<storage::FaultInjector> faults;
-  /// When set, a shared BlockCache with this budget/sharding is attached to
-  /// the hierarchy at construction (unless one is already attached): tier
-  /// blobs and decoded chunk arrays are then shared across every reader and
-  /// ReadSession of this pipeline, with single-flight loading. Leave unset
-  /// for the uncached (per-reader) behavior.
-  std::optional<cache::CacheConfig> cache;
-  /// When set, Pipeline::submit_query()'s QueryScheduler is created with
-  /// these knobs (worker count, bounded admission queue, default deadline,
-  /// priority aging). Leave unset to get ServeConfig defaults on first use.
-  std::optional<serve::ServeConfig> serve;
-  /// Async I/O engine shape forwarded into every reader/session this
-  /// pipeline opens (core::ReaderOptions::io). The depth-1 default keeps the
-  /// blocking read path.
-  io::IoConfig io;
 };
 
 /// One concurrent progressive-read session, created by
@@ -220,15 +176,27 @@ class ReadSession {
 
 class Pipeline {
  public:
-  /// Borrows `hierarchy` (must outlive the pipeline).
+  /// Borrows `hierarchy` (must outlive the pipeline). Throws canopus::Error
+  /// when `options` fail validation (Options::validate()); use load() for a
+  /// Status-returning construction path.
   explicit Pipeline(storage::StorageHierarchy& hierarchy,
-                    PipelineOptions options = {});
+                    Options options = {});
   /// Takes ownership of `hierarchy`.
   explicit Pipeline(storage::StorageHierarchy&& hierarchy,
-                    PipelineOptions options = {});
+                    Options options = {});
 
-  /// Builds the configured hierarchy (tiers, placement, faults, retry) and
-  /// observability from an XML RuntimeConfig; the pipeline owns the result.
+  /// Builds a pipeline from an XML RuntimeConfig file: configured hierarchy
+  /// (tiers, placement, faults, retry), observability, cache, serve, io —
+  /// the Status-returning factory the error-reporting invariant asks for
+  /// (kNotFound for a missing file, kInvalidArgument for a malformed or
+  /// inconsistent config).
+  static Status load(const std::string& config_path,
+                     std::unique_ptr<Pipeline>* pipeline);
+  static Status load(const core::RuntimeConfig& config,
+                     std::unique_ptr<Pipeline>* pipeline);
+
+  /// Deprecated throwing factories, kept for source compatibility: prefer
+  /// load(), which returns a Status instead of throwing on a bad config.
   static Pipeline from_config(const core::RuntimeConfig& config);
   static Pipeline from_config_file(const std::string& path);
 
@@ -237,7 +205,7 @@ class Pipeline {
 
   storage::StorageHierarchy& hierarchy() { return *hierarchy_; }
   const storage::StorageHierarchy& hierarchy() const { return *hierarchy_; }
-  const PipelineOptions& options() const { return options_; }
+  const Options& options() const { return options_; }
 
   /// Refactors and writes one variable. Never throws: failures come back as
   /// a Status (kInvalidArgument, kCapacity, kIoError, ...).
@@ -257,9 +225,9 @@ class Pipeline {
 
   /// Opens a concurrent read session at base accuracy. Sessions share the
   /// pipeline's session thread pool (one pool for all sessions, sized by
-  /// PipelineOptions::parallel.threads) and the hierarchy's block cache when
-  /// one is configured, so N sessions over the same products cost ~one tier
-  /// fetch + one decode per block instead of N. request.target_level /
+  /// Options::parallel.threads) and the hierarchy's block cache when one is
+  /// configured, so N sessions over the same products cost ~one tier fetch +
+  /// one decode per block instead of N. request.target_level /
   /// rmse_threshold / roi are ignored here; refine from the session instead.
   Status open_session(const ReadRequest& request,
                       std::unique_ptr<ReadSession>* session);
@@ -275,26 +243,75 @@ class Pipeline {
   Status submit_query(const serve::QueryRequest& request,
                       serve::QueryResult* result);
 
-  /// The pipeline's scheduler, created on first use from
-  /// PipelineOptions::serve (or defaults); never null. Use for non-blocking
-  /// submission (submit()), stats, and the pause/resume admission gate.
+  /// The pipeline's scheduler, created on first use from Options::serve (or
+  /// defaults); never null. Use for non-blocking submission (submit()),
+  /// stats, and the pause/resume admission gate.
   serve::QueryScheduler& query_scheduler();
+
+  // --- Cluster control plane (defined in src/fabric/pipeline_fabric.cpp). ---
+
+  /// Plugs a serving fabric into the facade (borrowed; must outlive the
+  /// pipeline, pass nullptr to unplug). Queries submitted after this route
+  /// across the fabric's nodes (the scheduler is notified, whether it exists
+  /// yet or not), and the topology entry points below become live.
+  Status attach_fabric(fabric::Fabric* fabric);
+
+  /// The attached fabric, or nullptr. (Named serving_fabric because a member
+  /// named `fabric` would shadow namespace canopus::fabric in class scope.)
+  fabric::Fabric* serving_fabric() const;
+
+  /// Grows the cluster by one node; `*id` (optional) receives its stable
+  /// node id. Only the chunks whose directory owner changed migrate, in the
+  /// background — queries are served throughout (old owner until each
+  /// chunk's cutover). kInvalidArgument when no fabric is attached.
+  Status attach_node(std::uint32_t* id = nullptr);
+
+  /// Moves every primary chunk off node `id` (copy → cutover → retire,
+  /// replicas repaired onto the new ring successors) while the node keeps
+  /// serving; the node stays attached. kInvalidArgument for an unknown,
+  /// detached, or last-active node.
+  Status drain_node(std::uint32_t id);
+
+  /// drain_node() + removal from service: after the drain completes the node
+  /// no longer routes, serves, or holds data. Queries planned after this
+  /// never touch it.
+  Status detach_node(std::uint32_t id);
+
+  /// Re-plans chunk ownership against the current topology (e.g. after
+  /// residency changes) and migrates synchronously.
+  Status rebalance();
+
+  /// Joins any in-flight background migration (after attach_node()); returns
+  /// kOk when the migration moved every planned chunk, kRetried when a newer
+  /// topology change superseded it, kIoError/kCapacity when moves failed.
+  Status wait_for_rebalance();
+
+  /// Point-in-time cluster snapshot (epoch, per-node occupancy and liveness,
+  /// migration count). Single-node pipelines (no fabric attached) report one
+  /// implicit node over the pipeline's own hierarchy.
+  Topology topology() const;
 
   /// The cache attached to the hierarchy, or nullptr (for stats in benches).
   cache::BlockCache* block_cache() const { return hierarchy_->block_cache(); }
 
-  /// Writes the Chrome trace to the installed observability sink, if any;
-  /// returns the path written ("" when no sink is configured).
+  /// Writes the Chrome trace to the installed observability sink, if any.
+  /// `*path_out` (optional) receives the path written ("" when no sink is
+  /// configured — that is kOk: nothing to flush is not a failure).
+  Status flush_trace(std::string* path_out = nullptr);
+
+  /// Deprecated spelling of flush_trace(): returns the path written instead
+  /// of a Status, hiding sink errors.
   std::string flush_observability();
 
  private:
   Status run_read(const ReadRequest& request, ReadResult* result);
-  /// Shared ctor tail: observability, retry, faults, cache, session pool.
+  /// Shared ctor tail: validation, observability, retry, faults, cache,
+  /// session pool.
   void apply_options();
 
   std::optional<storage::StorageHierarchy> owned_;
   storage::StorageHierarchy* hierarchy_;
-  PipelineOptions options_;
+  Options options_;
   /// One worker pool shared by every ReadSession (sized by
   /// options_.parallel.threads; sessions fall back to the global pool when
   /// no thread count is pinned).
@@ -305,6 +322,13 @@ class Pipeline {
   /// deleter makes the incomplete type safe to destroy from core TUs.
   std::shared_ptr<serve::QueryScheduler> scheduler_;
   std::once_flag scheduler_once_;
+  /// The attached fabric and the scheduler-notification hook. The hook is a
+  /// type-erased callback installed by query_scheduler() (serve module) and
+  /// invoked by attach_fabric() (fabric module), so neither module needs the
+  /// other's types; fabric_mu_ orders the two against each other.
+  mutable std::mutex fabric_mu_;
+  fabric::Fabric* fabric_ = nullptr;
+  std::function<void(fabric::Fabric*)> on_fabric_change_;
 };
 
 }  // namespace canopus

@@ -1,0 +1,52 @@
+#include "core/status.hpp"
+
+#include <exception>
+
+#include "storage/blob_frame.hpp"
+#include "storage/fault.hpp"
+#include "storage/hierarchy.hpp"
+#include "util/assert.hpp"
+
+namespace canopus {
+
+std::string to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kRetried: return "retried";
+    case StatusCode::kDegraded: return "degraded";
+    case StatusCode::kInvalidArgument: return "invalid-argument";
+    case StatusCode::kNotFound: return "not-found";
+    case StatusCode::kIoError: return "io-error";
+    case StatusCode::kIntegrityError: return "integrity-error";
+    case StatusCode::kCapacity: return "capacity";
+    case StatusCode::kInternal: return "internal";
+    case StatusCode::kOverloaded: return "overloaded";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  std::string out = canopus::to_string(code);
+  if (!detail.empty()) out += ": " + detail;
+  return out;
+}
+
+Status status_from_current_exception(StatusCode generic_error_code) {
+  try {
+    throw;
+  } catch (const storage::CapacityError& e) {
+    return Status::failure(StatusCode::kCapacity, e.what());
+  } catch (const storage::IntegrityError& e) {
+    return Status::failure(StatusCode::kIntegrityError, e.what());
+  } catch (const storage::TierIoError& e) {
+    return Status::failure(StatusCode::kIoError, e.what());
+  } catch (const Error& e) {
+    return Status::failure(generic_error_code, e.what());
+  } catch (const std::exception& e) {
+    return Status::failure(StatusCode::kInternal, e.what());
+  } catch (...) {
+    return Status::failure(StatusCode::kInternal, "unknown exception");
+  }
+}
+
+}  // namespace canopus

@@ -1,0 +1,71 @@
+#pragma once
+// Unified result classification for the public facade (canopus::Status).
+//
+// One invariant, repo-wide (DESIGN.md §14): every public entry point on
+// Pipeline and ReadSession returns a Status; exceptions thrown by the layers
+// underneath (storage::TierIoError, storage::IntegrityError,
+// storage::CapacityError, canopus::Error, anything std::exception-derived)
+// are mapped to a Status at the facade boundary and never escape it. The
+// serve module's scheduler and the fabric control plane reuse the same
+// mapper (status_from_current_exception) so one exception always means one
+// code, no matter which door it left through.
+
+#include <cstdint>
+#include <string>
+
+namespace canopus {
+
+/// Replaces the mixed error reporting of the pre-facade API: thrown
+/// canopus::Error / storage::TierIoError / storage::IntegrityError on some
+/// paths, core::RefineStatus plus robustness counters on others.
+enum class StatusCode : std::uint8_t {
+  kOk = 0,            // completed, no faults along the way
+  kRetried = 1,       // completed after tier retries or a replica fallback
+  kDegraded = 2,      // result usable but at reduced accuracy (read path)
+  kInvalidArgument = 3,  // malformed request (caller bug)
+  kNotFound = 4,      // container or variable does not exist
+  kIoError = 5,       // tier I/O failed after every retry and replica
+  kIntegrityError = 6,  // corruption detected and no clean copy remained
+  kCapacity = 7,      // no tier can hold the data (write path)
+  kInternal = 8,      // unexpected failure; detail carries the message
+  kOverloaded = 9,    // query shed by admission control (serve path); the
+                      // client should back off and retry, possibly coarser
+};
+
+std::string to_string(StatusCode code);
+
+/// Outcome of one Pipeline operation: code + human-readable detail + whether
+/// a usable-but-reduced-accuracy result was produced (the elastic-accuracy
+/// contract: a degraded read keeps the last good level instead of failing).
+struct Status {
+  StatusCode code = StatusCode::kOk;
+  std::string detail;
+  bool degraded = false;
+
+  /// Completed at full requested fidelity (kOk or kRetried).
+  bool ok() const {
+    return code == StatusCode::kOk || code == StatusCode::kRetried;
+  }
+  /// Produced a usable result (ok, or degraded with data to analyze).
+  bool usable() const { return ok() || degraded; }
+
+  std::string to_string() const;  // "code" or "code: detail"
+
+  static Status success() { return {}; }
+  static Status failure(StatusCode code, std::string detail) {
+    return {code, std::move(detail), false};
+  }
+};
+
+/// Maps the in-flight exception (call from inside a catch block) to a
+/// Status. The storage error taxonomy maps one-to-one
+/// (CapacityError→kCapacity, IntegrityError→kIntegrityError,
+/// TierIoError→kIoError); a generic canopus::Error maps to
+/// `generic_error_code` — pass kNotFound on open-shaped paths where Error
+/// means a missing container or variable, keep the kInternal default where
+/// it means a broken invariant. This is the ONLY exception→Status mapping in
+/// the tree; facade, serve, and fabric boundaries all call it.
+Status status_from_current_exception(
+    StatusCode generic_error_code = StatusCode::kInternal);
+
+}  // namespace canopus

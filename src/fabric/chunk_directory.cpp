@@ -1,12 +1,18 @@
 #include "fabric/chunk_directory.hpp"
 
+#include <algorithm>
+
 #include "util/assert.hpp"
 
 namespace canopus::fabric {
 
 ChunkDirectory::ChunkDirectory(std::size_t nodes, Partition partition)
-    : nodes_(nodes), partition_(partition) {
-  CANOPUS_CHECK(nodes_ >= 1, "directory needs at least one node");
+    : partition_(partition) {
+  CANOPUS_CHECK(nodes >= 1, "directory needs at least one node");
+  active_.resize(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    active_[i] = static_cast<std::uint32_t>(i);
+  }
 }
 
 std::uint32_t ChunkDirectory::hash_owner(const std::string& key,
@@ -38,22 +44,56 @@ std::optional<std::uint32_t> ChunkDirectory::replica_of(std::uint32_t owner,
   return static_cast<std::uint32_t>((owner + 1) % nodes);
 }
 
+std::vector<std::uint32_t> ChunkDirectory::eligible_locked(
+    const std::string& key) const {
+  // Longest residency prefix that matches the key wins. residency_ is
+  // ordered, so candidate prefixes of `key` sort before it; walk backwards
+  // from the insertion point checking prefix-of-key.
+  const std::vector<std::uint32_t>* restriction = nullptr;
+  std::size_t best_len = 0;
+  for (const auto& [prefix, nodes] : residency_) {
+    if (prefix.size() >= best_len && key.size() >= prefix.size() &&
+        key.compare(0, prefix.size(), prefix) == 0) {
+      restriction = &nodes;
+      best_len = prefix.size();
+    }
+  }
+  if (restriction == nullptr) return active_;
+  std::vector<std::uint32_t> allowed;
+  std::set_intersection(restriction->begin(), restriction->end(),
+                        active_.begin(), active_.end(),
+                        std::back_inserter(allowed));
+  // An empty intersection (every resident node detached) falls back to the
+  // full active set: a key must never become unownable.
+  if (allowed.empty()) return active_;
+  return allowed;
+}
+
+std::uint32_t ChunkDirectory::owner_for_locked(
+    const std::string& key, std::uint32_t chunk,
+    std::uint32_t chunk_count) const {
+  const auto allowed = eligible_locked(key);
+  CANOPUS_ASSERT(!allowed.empty());
+  const std::uint32_t slot =
+      (partition_ == Partition::kMortonRange && chunk_count > 1)
+          ? range_owner(chunk, chunk_count, allowed.size())
+          : hash_owner(key, allowed.size());
+  return allowed[slot];
+}
+
 std::uint32_t ChunkDirectory::owner_for(const std::string& key,
                                         std::uint32_t chunk,
                                         std::uint32_t chunk_count) const {
   std::scoped_lock lock(mu_);
-  if (partition_ == Partition::kMortonRange && chunk_count > 1) {
-    return range_owner(chunk, chunk_count, nodes_);
-  }
-  return hash_owner(key, nodes_);
+  return owner_for_locked(key, chunk, chunk_count);
 }
 
 std::uint32_t ChunkDirectory::assign(const std::string& key,
                                      std::uint32_t chunk,
                                      std::uint32_t chunk_count,
                                      std::size_t bytes) {
-  const std::uint32_t owner = owner_for(key, chunk, chunk_count);
   std::scoped_lock lock(mu_);
+  const std::uint32_t owner = owner_for_locked(key, chunk, chunk_count);
   entries_[key] = Entry{chunk, chunk_count, bytes, owner};
   return owner;
 }
@@ -63,23 +103,142 @@ std::optional<ChunkLocation> ChunkDirectory::lookup(
   std::scoped_lock lock(mu_);
   const auto it = entries_.find(key);
   if (it == entries_.end()) return std::nullopt;
-  return ChunkLocation{it->second.owner, replica_of(it->second.owner, nodes_)};
+  const std::uint32_t owner = it->second.owner;
+  // Replica: the next *active* node after the owner in ring order. An owner
+  // mid-drain may itself no longer be active; the ring still wraps over the
+  // active ids.
+  std::optional<std::uint32_t> replica;
+  if (active_.size() > 1 || (active_.size() == 1 && active_[0] != owner)) {
+    auto next = std::upper_bound(active_.begin(), active_.end(), owner);
+    if (next == active_.end()) next = active_.begin();
+    if (*next != owner) replica = *next;
+  }
+  return ChunkLocation{owner, replica};
 }
 
 void ChunkDirectory::rebalance(std::size_t new_nodes) {
   CANOPUS_CHECK(new_nodes >= 1, "rebalance needs at least one node");
   std::scoped_lock lock(mu_);
-  nodes_ = new_nodes;
-  for (auto& [key, entry] : entries_) {
-    entry.owner = (partition_ == Partition::kMortonRange && entry.chunk_count > 1)
-                      ? range_owner(entry.chunk, entry.chunk_count, nodes_)
-                      : hash_owner(key, nodes_);
+  active_.resize(new_nodes);
+  for (std::size_t i = 0; i < new_nodes; ++i) {
+    active_[i] = static_cast<std::uint32_t>(i);
   }
+  ++epoch_;
+  for (auto& [key, entry] : entries_) {
+    entry.owner = owner_for_locked(key, entry.chunk, entry.chunk_count);
+  }
+}
+
+RebalancePlan ChunkDirectory::plan_locked() const {
+  RebalancePlan plan;
+  plan.epoch = epoch_;
+  for (const auto& [key, entry] : entries_) {
+    const std::uint32_t target =
+        owner_for_locked(key, entry.chunk, entry.chunk_count);
+    if (target != entry.owner) {
+      plan.moves.push_back(ChunkMove{key, entry.owner, target, entry.bytes});
+    }
+  }
+  return plan;
+}
+
+RebalancePlan ChunkDirectory::attach_node(std::uint32_t id) {
+  std::scoped_lock lock(mu_);
+  CANOPUS_CHECK(!std::binary_search(active_.begin(), active_.end(), id),
+                "attach_node: node " + std::to_string(id) +
+                    " is already active");
+  active_.insert(std::upper_bound(active_.begin(), active_.end(), id), id);
+  ++epoch_;
+  return plan_locked();
+}
+
+RebalancePlan ChunkDirectory::detach_node(std::uint32_t id) {
+  std::scoped_lock lock(mu_);
+  const auto it = std::lower_bound(active_.begin(), active_.end(), id);
+  CANOPUS_CHECK(it != active_.end() && *it == id,
+                "detach_node: node " + std::to_string(id) + " is not active");
+  CANOPUS_CHECK(active_.size() > 1,
+                "detach_node: cannot detach the last active node");
+  active_.erase(it);
+  ++epoch_;
+  return plan_locked();
+}
+
+RebalancePlan ChunkDirectory::plan_rebalance() {
+  std::scoped_lock lock(mu_);
+  return plan_locked();
+}
+
+void ChunkDirectory::commit_move(const std::string& key,
+                                 std::uint32_t new_owner) {
+  std::scoped_lock lock(mu_);
+  const auto it = entries_.find(key);
+  CANOPUS_CHECK(it != entries_.end(),
+                "commit_move: no directory entry for '" + key + "'");
+  it->second.owner = new_owner;
+}
+
+std::uint64_t ChunkDirectory::epoch() const {
+  std::scoped_lock lock(mu_);
+  return epoch_;
+}
+
+std::vector<std::uint32_t> ChunkDirectory::active_nodes() const {
+  std::scoped_lock lock(mu_);
+  return active_;
+}
+
+bool ChunkDirectory::is_active(std::uint32_t id) const {
+  std::scoped_lock lock(mu_);
+  return std::binary_search(active_.begin(), active_.end(), id);
+}
+
+void ChunkDirectory::set_residency(const std::string& prefix,
+                                   std::vector<std::uint32_t> nodes) {
+  std::scoped_lock lock(mu_);
+  if (nodes.empty()) {
+    residency_.erase(prefix);
+  } else {
+    std::sort(nodes.begin(), nodes.end());
+    nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+    residency_[prefix] = std::move(nodes);
+  }
+  ++epoch_;
+}
+
+std::vector<std::uint32_t> ChunkDirectory::residency_for(
+    const std::string& key) const {
+  std::scoped_lock lock(mu_);
+  const std::vector<std::uint32_t>* restriction = nullptr;
+  std::size_t best_len = 0;
+  for (const auto& [prefix, nodes] : residency_) {
+    if (prefix.size() >= best_len && key.size() >= prefix.size() &&
+        key.compare(0, prefix.size(), prefix) == 0) {
+      restriction = &nodes;
+      best_len = prefix.size();
+    }
+  }
+  if (restriction == nullptr) return {};
+  std::vector<std::uint32_t> allowed;
+  std::set_intersection(restriction->begin(), restriction->end(),
+                        active_.begin(), active_.end(),
+                        std::back_inserter(allowed));
+  return allowed;
+}
+
+std::vector<ChunkDirectory::EntryView> ChunkDirectory::snapshot() const {
+  std::scoped_lock lock(mu_);
+  std::vector<EntryView> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    out.push_back(EntryView{key, entry.owner, entry.bytes});
+  }
+  return out;
 }
 
 std::size_t ChunkDirectory::node_count() const {
   std::scoped_lock lock(mu_);
-  return nodes_;
+  return active_.size();
 }
 
 std::size_t ChunkDirectory::size() const {
@@ -94,7 +253,14 @@ std::vector<std::size_t> ChunkDirectory::owned_bytes() const {
 std::vector<std::size_t> ChunkDirectory::owned_bytes_for_prefix(
     const std::string& prefix) const {
   std::scoped_lock lock(mu_);
-  std::vector<std::size_t> per_node(nodes_, 0);
+  // Indexed by stable node id: one past the largest id that is active or
+  // still holds entries mid-drain.
+  std::size_t limit = active_.empty() ? 0 : active_.back() + 1;
+  for (auto it = entries_.lower_bound(prefix); it != entries_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    limit = std::max(limit, static_cast<std::size_t>(it->second.owner) + 1);
+  }
+  std::vector<std::size_t> per_node(limit, 0);
   // entries_ is ordered, so the matching keys form one contiguous range.
   for (auto it = entries_.lower_bound(prefix); it != entries_.end(); ++it) {
     if (it->first.compare(0, prefix.size(), prefix) != 0) break;

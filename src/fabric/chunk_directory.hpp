@@ -8,14 +8,27 @@
 // partition functions are pure and static so the property suite can assert
 // totality, disjointness, and coverage without building a cluster.
 //
-// Invariants (tests/fabric_test.cpp pins them):
+// Elastic topology (PR 8): the directory now separates *node identity* from
+// *partition slot*. Nodes carry stable ids; the active set lists the ids that
+// currently participate in ownership. attach_node()/detach_node() change the
+// active set, bump the topology epoch, and return an incremental
+// RebalancePlan — only the entries whose target owner changed. Recorded
+// owners stay put until the fabric finishes each copy and calls
+// commit_move(): reads keep resolving to the old owner until cutover, so a
+// migration in flight never makes a key unreachable. An optional residency
+// set per key prefix restricts which active nodes may own matching chunk
+// groups (Paradigm4's create_with_residency shape).
+//
+// Invariants (tests/fabric_test.cpp and tests/elastic_test.cpp pin them):
 //   * totality — owner_for() maps every (key, chunk, chunk_count) to exactly
-//     one node index < nodes;
+//     one active node;
 //   * coverage — under kMortonRange with nodes <= chunk_count, every node
 //     owns at least one chunk, and the per-node ranges are contiguous and
 //     disjoint;
 //   * rebalance — after rebalance(n'), every recorded entry's owner equals
-//     owner_for() recomputed with n' nodes.
+//     owner_for() recomputed with n' nodes (the eager legacy contract);
+//   * incremental plans — attach/detach plans contain exactly the entries
+//     whose target owner differs from the recorded owner, and nothing else.
 
 #include <cstdint>
 #include <map>
@@ -33,6 +46,23 @@ namespace canopus::fabric {
 struct ChunkLocation {
   std::uint32_t owner = 0;
   std::optional<std::uint32_t> replica;
+};
+
+/// One pending ownership transfer of an incremental rebalance: copy `key`
+/// from node `from` to node `to`, then commit_move() to cut reads over.
+struct ChunkMove {
+  std::string key;
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+  std::size_t bytes = 0;
+};
+
+/// What one topology change asks the fabric to migrate. `epoch` is the
+/// directory epoch the plan was computed at; a later topology change
+/// supersedes the plan (the fabric re-plans instead of finishing it).
+struct RebalancePlan {
+  std::uint64_t epoch = 0;
+  std::vector<ChunkMove> moves;
 };
 
 class ChunkDirectory {
@@ -56,7 +86,10 @@ class ChunkDirectory {
 
   /// The owner this directory's partition assigns (pure; does not record).
   /// kMortonRange falls back to hash_owner for single-chunk block groups
-  /// (bases, plain data) so those still spread across the fabric.
+  /// (bases, plain data) so those still spread across the fabric. The
+  /// partition computes a slot among the eligible nodes (active set,
+  /// intersected with the key's residency set when one matches), then maps
+  /// the slot to that set's stable node id.
   std::uint32_t owner_for(const std::string& key, std::uint32_t chunk,
                           std::uint32_t chunk_count) const;
 
@@ -64,16 +97,72 @@ class ChunkDirectory {
   std::uint32_t assign(const std::string& key, std::uint32_t chunk,
                        std::uint32_t chunk_count, std::size_t bytes);
 
-  /// Location of a recorded key, or nullopt for unknown keys.
+  /// Location of a recorded key, or nullopt for unknown keys. The replica is
+  /// the next *active* node after the owner in ring order.
   std::optional<ChunkLocation> lookup(const std::string& key) const;
 
   /// Recomputes every recorded entry's owner for a new node count (elastic
   /// grow/shrink). The fabric must re-shard the stored objects to match;
-  /// the directory only answers "who should own this now".
+  /// the directory only answers "who should own this now". Resets the
+  /// active set to {0..new_nodes-1} and bumps the epoch — the eager legacy
+  /// path; the incremental path is attach_node()/detach_node().
   void rebalance(std::size_t new_nodes);
+
+  // --- Elastic topology (incremental). -------------------------------------
+
+  /// Adds node `id` to the active set and returns the incremental plan:
+  /// exactly the recorded entries whose target owner changed. Owners are NOT
+  /// flipped here — the fabric copies each chunk and calls commit_move().
+  RebalancePlan attach_node(std::uint32_t id);
+
+  /// Removes node `id` from the active set (it stops being a target for
+  /// owner_for / new assignments / replicas) and returns the drain plan.
+  /// Entries currently owned by `id` keep resolving to it until the fabric
+  /// commits their moves, so in-flight reads still find the copy.
+  RebalancePlan detach_node(std::uint32_t id);
+
+  /// Recomputes targets for the current active set without changing it
+  /// (e.g. after residency edits) and returns the incremental plan.
+  RebalancePlan plan_rebalance();
+
+  /// Cutover: records that `key` now lives on `new_owner`. Reads resolve to
+  /// the new owner from this call on.
+  void commit_move(const std::string& key, std::uint32_t new_owner);
+
+  /// Monotone topology epoch: bumped by rebalance(), attach_node(),
+  /// detach_node(), and set_residency() — any event after which cached owner
+  /// resolutions or cost-model residency probes may be stale. Planners
+  /// snapshot it and re-plan when it moves; a migration plan whose epoch is
+  /// no longer current has been superseded. commit_move() does not bump it
+  /// (cutovers execute *under* the epoch that planned them; lookup() is the
+  /// live source of truth for who holds a key).
+  std::uint64_t epoch() const;
+
+  /// Stable ids of the nodes currently participating in ownership.
+  std::vector<std::uint32_t> active_nodes() const;
+  bool is_active(std::uint32_t id) const;
+
+  /// Restricts ownership of keys starting with `prefix` to `nodes` (a
+  /// residency set, intersected with the active set; an empty intersection
+  /// falls back to the full active set so keys never become unownable).
+  /// Pass an empty vector to clear. Longest matching prefix wins.
+  void set_residency(const std::string& prefix,
+                     std::vector<std::uint32_t> nodes);
+  /// The residency set owner_for() would honor for `key` (already
+  /// intersected with the active set), or empty when unrestricted.
+  std::vector<std::uint32_t> residency_for(const std::string& key) const;
 
   std::size_t node_count() const;
   std::size_t size() const;
+
+  /// Point-in-time view of one recorded entry (for the fabric's replica
+  /// repair sweep after a topology change).
+  struct EntryView {
+    std::string key;
+    std::uint32_t owner = 0;
+    std::size_t bytes = 0;
+  };
+  std::vector<EntryView> snapshot() const;
 
   /// Bytes owned per node across all recorded entries.
   std::vector<std::size_t> owned_bytes() const;
@@ -90,10 +179,20 @@ class ChunkDirectory {
     std::uint32_t owner = 0;
   };
 
+  /// Eligible owner ids for `key`: residency ∩ active, or active. Locked by
+  /// caller.
+  std::vector<std::uint32_t> eligible_locked(const std::string& key) const;
+  std::uint32_t owner_for_locked(const std::string& key, std::uint32_t chunk,
+                                 std::uint32_t chunk_count) const;
+  RebalancePlan plan_locked() const;
+
   mutable std::mutex mu_;
-  std::size_t nodes_;
   Partition partition_;
+  std::vector<std::uint32_t> active_;  // sorted stable node ids
+  std::uint64_t epoch_ = 0;
   std::map<std::string, Entry> entries_;
+  // prefix -> allowed node ids (sorted); longest prefix match.
+  std::map<std::string, std::vector<std::uint32_t>> residency_;
 };
 
 }  // namespace canopus::fabric

@@ -30,37 +30,78 @@ bool sharded_kind(adios::BlockKind kind) {
 
 Fabric::Fabric(FabricOptions options, std::vector<storage::TierSpec> node_tiers,
                storage::PlacementPolicy policy)
-    : options_(options), directory_(options.nodes, options.partition) {
+    : options_(options),
+      node_tiers_(std::move(node_tiers)),
+      policy_(policy),
+      directory_(options.nodes, options.partition) {
   CANOPUS_CHECK(options_.nodes >= 1, "fabric needs at least one node");
   CANOPUS_CHECK(options_.remote_latency_seconds >= 0.0 &&
                     options_.remote_bandwidth > 0.0,
                 "fabric: remote envelope must be non-negative latency and "
                 "positive bandwidth");
-  nodes_.reserve(options_.nodes);
-  for (std::size_t i = 0; i < options_.nodes; ++i) {
-    nodes_.push_back(std::make_unique<Node>(node_tiers, policy));
-    nodes_[i]->remote = std::make_unique<NodeRemoteStore>(*this, i);
-    nodes_[i]->hierarchy.attach_remote_store(nodes_[i]->remote.get());
-  }
+  for (std::size_t i = 0; i < options_.nodes; ++i) append_node();
   if (options_.eviction_high > 0.0) start_eviction_providers();
 }
 
-Fabric::~Fabric() { stop_eviction_providers(); }
+Fabric::~Fabric() {
+  stop_eviction_providers();
+  wait_for_migration();
+}
+
+Fabric::Node* Fabric::node_ptr(std::size_t i) const {
+  std::shared_lock lock(nodes_mu_);
+  return i < nodes_.size() ? nodes_[i].get() : nullptr;
+}
+
+std::uint32_t Fabric::append_node() {
+  auto node = std::make_unique<Node>(node_tiers_, policy_);
+  std::uint32_t id = 0;
+  {
+    std::unique_lock lock(nodes_mu_);
+    id = static_cast<std::uint32_t>(nodes_.size());
+    node->remote = std::make_unique<NodeRemoteStore>(*this, id);
+    node->hierarchy.attach_remote_store(node->remote.get());
+    if (per_node_cache_.has_value()) {
+      node->hierarchy.attach_block_cache(
+          std::make_shared<cache::BlockCache>(*per_node_cache_));
+    }
+    nodes_.push_back(std::move(node));
+  }
+  {
+    std::scoped_lock lock(provider_mu_);
+    if (providers_running_) {
+      node_ptr(id)->provider = std::thread([this, id] { provider_loop(id); });
+    }
+  }
+  return id;
+}
+
+std::size_t Fabric::node_count() const {
+  std::shared_lock lock(nodes_mu_);
+  return nodes_.size();
+}
 
 storage::StorageHierarchy& Fabric::node(std::size_t i) {
-  CANOPUS_CHECK(i < nodes_.size(), "fabric: node index out of range");
-  return nodes_[i]->hierarchy;
+  Node* n = node_ptr(i);
+  CANOPUS_CHECK(n != nullptr, "fabric: node index out of range");
+  return n->hierarchy;
 }
 
 void Fabric::attach_node_caches(const cache::CacheConfig& per_node) {
-  for (auto& n : nodes_) {
-    n->hierarchy.attach_block_cache(std::make_shared<cache::BlockCache>(per_node));
+  {
+    std::unique_lock lock(nodes_mu_);
+    per_node_cache_ = per_node;
+  }
+  for (std::size_t i = 0; i < node_count(); ++i) {
+    node_ptr(i)->hierarchy.attach_block_cache(
+        std::make_shared<cache::BlockCache>(per_node));
   }
 }
 
 cache::BlockCache* Fabric::node_cache(std::size_t i) {
-  CANOPUS_CHECK(i < nodes_.size(), "fabric: node index out of range");
-  return nodes_[i]->hierarchy.block_cache();
+  Node* n = node_ptr(i);
+  CANOPUS_CHECK(n != nullptr, "fabric: node index out of range");
+  return n->hierarchy.block_cache();
 }
 
 ImportReport Fabric::import_container(storage::StorageHierarchy& staging,
@@ -85,14 +126,25 @@ ImportReport Fabric::import_container(storage::StorageHierarchy& staging,
 
   ImportReport report;
   report.blocks = records.size();
+  const std::size_t slots = node_count();
+  auto each_attached = [&](auto&& fn) {
+    for (std::size_t i = 0; i < slots; ++i) {
+      Node* n = node_ptr(i);
+      if (n != nullptr && !n->detached.load(std::memory_order_relaxed)) fn(*n);
+    }
+  };
 
   // The metadata object is tiny and opens every BpReader: every node keeps it.
   const auto meta_key = adios::metadata_key(path);
   util::Bytes meta;
   staging.read(meta_key, meta);
-  for (auto& n : nodes_) {
-    n->hierarchy.place(meta_key, meta);
+  each_attached([&](Node& n) {
+    n.hierarchy.place(meta_key, meta);
     ++report.replicated;
+  });
+  {
+    std::scoped_lock lock(replicated_mu_);
+    replicated_keys_.push_back(meta_key);
   }
 
   util::Bytes bytes;
@@ -101,28 +153,31 @@ ImportReport Fabric::import_container(storage::StorageHierarchy& staging,
     if (sharded_kind(r.kind)) {
       const auto owner =
           directory_.assign(r.object_key, r.chunk, r.chunk_count, bytes.size());
-      nodes_[owner]->hierarchy.place(r.object_key, bytes);
+      node_ptr(owner)->hierarchy.place(r.object_key, bytes);
       ++report.sharded;
       report.sharded_bytes += bytes.size();
     } else {
-      for (auto& n : nodes_) {
-        n->hierarchy.place(r.object_key, bytes);
+      each_attached([&](Node& n) {
+        n.hierarchy.place(r.object_key, bytes);
         ++report.replicated;
-      }
+      });
+      std::scoped_lock lock(replicated_mu_);
+      replicated_keys_.push_back(r.object_key);
     }
   }
 
   // Replica pass after every primary is placed (best-effort, like
   // replicate_below: a replica that does not fit is skipped, never fatal).
-  if (nodes_.size() > 1) {
+  if (directory_.active_nodes().size() > 1) {
     for (const auto& r : records) {
       if (!sharded_kind(r.kind)) continue;
       const auto loc = directory_.lookup(r.object_key);
       CANOPUS_ASSERT(loc.has_value() && loc->replica.has_value());
       staging.read(r.object_key, bytes);
       try {
-        nodes_[*loc->replica]->hierarchy.place(
-            storage::StorageHierarchy::replica_key(r.object_key), bytes);
+        node_ptr(*loc->replica)
+            ->hierarchy.place(
+                storage::StorageHierarchy::replica_key(r.object_key), bytes);
         ++report.replicas;
       } catch (const storage::CapacityError&) {
       }
@@ -131,9 +186,272 @@ ImportReport Fabric::import_container(storage::StorageHierarchy& staging,
   return report;
 }
 
+// --- Elastic topology. ------------------------------------------------------
+
+std::uint32_t Fabric::attach_node(bool background) {
+  std::scoped_lock tlock(topology_mu_);
+  wait_for_migration();
+  const std::uint32_t id = append_node();
+  // Seed the read-mostly replicated blocks (metadata, geometry) from any
+  // serving peer so the node can open readers before the shard migration
+  // lands. Sharded blocks it does not yet own resolve remotely.
+  std::vector<std::string> seeds;
+  {
+    std::scoped_lock lock(replicated_mu_);
+    seeds = replicated_keys_;
+  }
+  if (!seeds.empty()) {
+    util::Bytes bytes;
+    for (const auto& key : seeds) {
+      for (std::size_t i = 0; i < node_count(); ++i) {
+        if (i == id) continue;
+        Node* peer = node_ptr(i);
+        if (peer == nullptr ||
+            peer->detached.load(std::memory_order_relaxed) ||
+            !peer->alive.load(std::memory_order_relaxed)) {
+          continue;
+        }
+        try {
+          peer->hierarchy.read(key, bytes);
+          node_ptr(id)->hierarchy.place(key, bytes);
+          break;
+        } catch (const Error&) {
+        }
+      }
+    }
+  }
+  RebalancePlan plan = directory_.attach_node(id);
+  count_fabric("node_attaches");
+  publish_epoch_gauge();
+  update_occupancy_gauges();
+  if (background) {
+    launch_migration(std::move(plan));
+  } else {
+    MigrationReport report = run_migration(plan);
+    report.replicas_repaired += repair_replicas(std::nullopt);
+    std::scoped_lock lock(migration_mu_);
+    last_migration_ = report;
+  }
+  return id;
+}
+
+MigrationReport Fabric::drain_node(std::uint32_t id) {
+  std::scoped_lock tlock(topology_mu_);
+  return drain_locked(id);
+}
+
+MigrationReport Fabric::drain_locked(std::uint32_t id) {
+  Node* n = node_ptr(id);
+  CANOPUS_CHECK(n != nullptr && !n->detached.load(std::memory_order_relaxed),
+                "fabric: cannot drain node " + std::to_string(id));
+  wait_for_migration();
+  MigrationReport report = run_migration(directory_.detach_node(id));
+  count_fabric("node_drains");
+  // Anything that could not move on the first pass (a racing topology edit,
+  // a transient fault on the source) gets bounded retries; the node must own
+  // nothing before it may stop serving.
+  auto owned_by = [&](std::uint32_t node_id) {
+    const auto owned = directory_.owned_bytes();
+    return node_id < owned.size() ? owned[node_id] : 0;
+  };
+  for (int round = 0; round < 3 && owned_by(id) > 0; ++round) {
+    const MigrationReport retry = run_migration(directory_.plan_rebalance());
+    report.chunks_moved += retry.chunks_moved;
+    report.bytes_moved += retry.bytes_moved;
+    report.failed = retry.failed;
+    report.superseded = report.superseded || retry.superseded;
+  }
+  CANOPUS_CHECK(owned_by(id) == 0,
+                "fabric: drain of node " + std::to_string(id) +
+                    " left primaries behind (remaining nodes out of room?)");
+  report.replicas_repaired += repair_replicas(id);
+  publish_epoch_gauge();
+  update_occupancy_gauges();
+  return report;
+}
+
+MigrationReport Fabric::detach_node(std::uint32_t id) {
+  std::scoped_lock tlock(topology_mu_);
+  Node* n = node_ptr(id);
+  CANOPUS_CHECK(n != nullptr && !n->detached.load(std::memory_order_relaxed),
+                "fabric: cannot detach node " + std::to_string(id));
+  MigrationReport report;
+  if (directory_.is_active(id)) report = drain_locked(id);
+  n->detached.store(true, std::memory_order_relaxed);
+  count_fabric("node_detaches");
+  publish_epoch_gauge();
+  update_occupancy_gauges();
+  return report;
+}
+
+MigrationReport Fabric::rebalance() {
+  std::scoped_lock tlock(topology_mu_);
+  wait_for_migration();
+  MigrationReport report = run_migration(directory_.plan_rebalance());
+  report.replicas_repaired += repair_replicas(std::nullopt);
+  publish_epoch_gauge();
+  update_occupancy_gauges();
+  {
+    std::scoped_lock lock(migration_mu_);
+    last_migration_ = report;
+  }
+  return report;
+}
+
+MigrationReport Fabric::wait_for_migration() {
+  // Join outside migration_mu_: the worker takes the lock to publish its
+  // report, so joining while holding it would deadlock.
+  std::thread worker;
+  {
+    std::scoped_lock lock(migration_mu_);
+    worker = std::move(migration_thread_);
+  }
+  if (worker.joinable()) worker.join();
+  std::scoped_lock lock(migration_mu_);
+  return last_migration_;
+}
+
+bool Fabric::attached(std::size_t i) const {
+  Node* n = node_ptr(i);
+  return n != nullptr && !n->detached.load(std::memory_order_relaxed);
+}
+
+void Fabric::launch_migration(RebalancePlan plan) {
+  wait_for_migration();
+  std::scoped_lock lock(migration_mu_);
+  migration_thread_ = std::thread([this, plan = std::move(plan)] {
+    MigrationReport report = run_migration(plan);
+    report.replicas_repaired += repair_replicas(std::nullopt);
+    update_occupancy_gauges();
+    std::scoped_lock inner(migration_mu_);
+    last_migration_ = report;
+  });
+}
+
+MigrationReport Fabric::run_migration(const RebalancePlan& plan) {
+  MigrationReport report;
+  report.epoch = plan.epoch;
+  util::Bytes bytes;
+  for (const auto& mv : plan.moves) {
+    if (directory_.epoch() != plan.epoch) {
+      // A newer topology change owns the remaining moves; its own plan
+      // covers everything still mis-placed.
+      report.superseded = true;
+      break;
+    }
+    CANOPUS_SPAN("fabric.migrate", {{"from", static_cast<int>(mv.from)},
+                                    {"to", static_cast<int>(mv.to)}});
+    Node* dst = node_ptr(mv.to);
+    CANOPUS_ASSERT(dst != nullptr);
+    Node* src = node_ptr(mv.from);
+    // Copy: the primary first; a faulting, corrupted, or killed source
+    // degrades to the replica copy (PR 1's fallback is the safety net for
+    // the copy window).
+    bool copied = false;
+    if (src != nullptr) {
+      try {
+        src->hierarchy.read(mv.key, bytes);
+        copied = true;
+      } catch (const Error&) {
+      }
+    }
+    if (!copied) {
+      const auto loc = directory_.lookup(mv.key);
+      if (loc.has_value() && loc->replica.has_value()) {
+        Node* rep = node_ptr(*loc->replica);
+        if (rep != nullptr) {
+          try {
+            rep->hierarchy.read(
+                storage::StorageHierarchy::replica_key(mv.key), bytes);
+            copied = true;
+          } catch (const Error&) {
+          }
+        }
+      }
+    }
+    if (!copied) {
+      ++report.failed;
+      migration_failures_.fetch_add(1, std::memory_order_relaxed);
+      count_fabric("migration_failures");
+      continue;  // chunk stays with (and is served by) its current owner
+    }
+    try {
+      dst->hierarchy.place(mv.key, bytes);
+    } catch (const storage::CapacityError&) {
+      ++report.failed;
+      migration_failures_.fetch_add(1, std::memory_order_relaxed);
+      count_fabric("migration_failures");
+      continue;
+    }
+    // Cutover: reads resolve to the new owner from here on. Then retire the
+    // old copy — erase() also invalidates the losing node's cache entries
+    // (blob, replica, and decoded aliases), so a post-cutover read can never
+    // be served from the stale owner's cache.
+    directory_.commit_move(mv.key, mv.to);
+    if (src != nullptr) src->hierarchy.erase(mv.key);
+    ++report.chunks_moved;
+    report.bytes_moved += bytes.size();
+    migrations_.fetch_add(1, std::memory_order_relaxed);
+    count_fabric("migrations");
+  }
+  return report;
+}
+
+std::size_t Fabric::repair_replicas(std::optional<std::uint32_t> retired) {
+  if (directory_.active_nodes().size() <= 1) return 0;
+  std::size_t repaired = 0;
+  util::Bytes bytes;
+  const std::size_t slots = node_count();
+  for (const auto& entry : directory_.snapshot()) {
+    const auto loc = directory_.lookup(entry.key);
+    if (!loc.has_value()) continue;
+    const auto rkey = storage::StorageHierarchy::replica_key(entry.key);
+    // Drop stale copies first (the old ring successor, and everything a
+    // retired node still holds), then make sure the current successor has
+    // one. Both passes are idempotent.
+    for (std::size_t i = 0; i < slots; ++i) {
+      if (loc->replica.has_value() && i == *loc->replica) continue;
+      if (i == loc->owner) continue;
+      Node* other = node_ptr(i);
+      if (other != nullptr) other->hierarchy.erase(rkey);
+    }
+    if (retired.has_value()) {
+      Node* old = node_ptr(*retired);
+      if (old != nullptr && *retired != loc->owner) old->hierarchy.erase(entry.key);
+    }
+    if (!loc->replica.has_value()) continue;
+    Node* rep = node_ptr(*loc->replica);
+    if (rep == nullptr || rep->detached.load(std::memory_order_relaxed)) {
+      continue;
+    }
+    if (rep->hierarchy.find(rkey).has_value()) continue;
+    Node* owner = node_ptr(loc->owner);
+    if (owner == nullptr) continue;
+    try {
+      owner->hierarchy.read(entry.key, bytes);
+      rep->hierarchy.place(rkey, bytes);
+      ++repaired;
+    } catch (const Error&) {
+      // Best-effort, like replicate_below: a replica is opportunistic.
+    }
+  }
+  if (repaired > 0) count_fabric("replicas_repaired", repaired);
+  return repaired;
+}
+
+void Fabric::publish_epoch_gauge() const {
+  if (!obs::enabled()) return;
+  obs::MetricsRegistry::global()
+      .gauge("topology.epoch")
+      .set(static_cast<std::int64_t>(directory_.epoch()));
+}
+
+// --- Failure simulation. ----------------------------------------------------
+
 void Fabric::kill_node(std::size_t i) {
-  CANOPUS_CHECK(i < nodes_.size(), "fabric: node index out of range");
-  nodes_[i]->alive.store(false, std::memory_order_relaxed);
+  Node* n = node_ptr(i);
+  CANOPUS_CHECK(n != nullptr, "fabric: node index out of range");
+  n->alive.store(false, std::memory_order_relaxed);
   // Dead storage, not just dead routing: every tier read on the node now
   // fails, so a request that raced the alive check still degrades to the
   // replica owner instead of being served by a "dead" node.
@@ -141,22 +459,24 @@ void Fabric::kill_node(std::size_t i) {
       0x6b696c6cull ^ static_cast<std::uint64_t>(i));
   storage::FaultProfile profile;
   profile.read_error = 1.0;
-  for (std::size_t t = 0; t < nodes_[i]->hierarchy.tier_count(); ++t) {
+  for (std::size_t t = 0; t < n->hierarchy.tier_count(); ++t) {
     injector->set_profile(t, profile);
   }
-  nodes_[i]->hierarchy.attach_fault_injector(std::move(injector));
+  n->hierarchy.attach_fault_injector(std::move(injector));
   count_fabric("node_kills");
 }
 
 void Fabric::revive_node(std::size_t i) {
-  CANOPUS_CHECK(i < nodes_.size(), "fabric: node index out of range");
-  nodes_[i]->hierarchy.attach_fault_injector(nullptr);
-  nodes_[i]->alive.store(true, std::memory_order_relaxed);
+  Node* n = node_ptr(i);
+  CANOPUS_CHECK(n != nullptr, "fabric: node index out of range");
+  n->hierarchy.attach_fault_injector(nullptr);
+  n->alive.store(true, std::memory_order_relaxed);
 }
 
 bool Fabric::alive(std::size_t i) const {
-  CANOPUS_CHECK(i < nodes_.size(), "fabric: node index out of range");
-  return nodes_[i]->alive.load(std::memory_order_relaxed);
+  Node* n = node_ptr(i);
+  CANOPUS_CHECK(n != nullptr, "fabric: node index out of range");
+  return n->alive.load(std::memory_order_relaxed);
 }
 
 std::uint32_t Fabric::route_query(const std::string& path,
@@ -164,8 +484,13 @@ std::uint32_t Fabric::route_query(const std::string& path,
   const auto per_node = directory_.owned_bytes_for_prefix(path + "/" + var + "/");
   std::optional<std::uint32_t> best;
   std::size_t best_bytes = 0;
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    if (!alive(i)) continue;
+  const std::size_t slots = node_count();
+  for (std::size_t i = 0; i < slots; ++i) {
+    // Draining and detached nodes are never routing targets: planning always
+    // follows the live topology (the directory's active set).
+    if (!alive(i) || !directory_.is_active(static_cast<std::uint32_t>(i))) {
+      continue;
+    }
     const std::size_t owned = i < per_node.size() ? per_node[i] : 0;
     if (!best.has_value() || owned > best_bytes) {
       best = static_cast<std::uint32_t>(i);
@@ -207,7 +532,7 @@ storage::IoResult Fabric::remote_read_one(std::size_t from_node,
                                           util::Bytes& out, bool charge_latency,
                                           bool* crossed_network) {
   CANOPUS_SPAN("fabric.remote_read", {{"node", static_cast<int>(from_node)}});
-  const auto loc = directory_.lookup(key);
+  auto loc = directory_.lookup(key);
   if (!loc.has_value()) {
     failed_remote_reads_.fetch_add(1, std::memory_order_relaxed);
     count_fabric("failed_remote_reads");
@@ -219,29 +544,43 @@ storage::IoResult Fabric::remote_read_one(std::size_t from_node,
     *crossed_network = true;
     return io;
   };
-  if (loc->owner != from_node &&
-      nodes_[loc->owner]->alive.load(std::memory_order_relaxed)) {
-    try {
-      auto io = nodes_[loc->owner]->hierarchy.read(key, out);
-      remote_reads_.fetch_add(1, std::memory_order_relaxed);
-      count_fabric("remote_reads");
-      return envelope(io, out.size());
-    } catch (const Error&) {
-      // Owner unreachable (killed mid-flight, or its copy faulted out after
-      // retries): degrade to the replica owner.
+  // Owner resolution with one epoch-aware retry: a migration cutover can
+  // retire the owner's copy between our lookup and the read. Re-resolving
+  // against the live directory finds the new owner; only when the owner is
+  // genuinely unreachable do we degrade to the replica.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (loc->owner != from_node) {
+      Node* owner = node_ptr(loc->owner);
+      if (owner != nullptr &&
+          owner->alive.load(std::memory_order_relaxed)) {
+        try {
+          auto io = owner->hierarchy.read(key, out);
+          remote_reads_.fetch_add(1, std::memory_order_relaxed);
+          count_fabric("remote_reads");
+          return envelope(io, out.size());
+        } catch (const Error&) {
+          // Owner unreachable (killed mid-flight, or its copy faulted out
+          // after retries): re-resolve, then degrade to the replica owner.
+        }
+      }
     }
+    const auto fresh = directory_.lookup(key);
+    if (!fresh.has_value() || fresh->owner == loc->owner) break;
+    loc = fresh;  // ownership moved under us — retry against the new owner
   }
-  if (loc->replica.has_value() &&
-      nodes_[*loc->replica]->alive.load(std::memory_order_relaxed)) {
-    const std::size_t r = *loc->replica;
-    try {
-      auto io = nodes_[r]->hierarchy.read(
-          storage::StorageHierarchy::replica_key(key), out);
-      io.from_replica = true;
-      replica_fallbacks_.fetch_add(1, std::memory_order_relaxed);
-      count_fabric("replica_fallbacks");
-      return r == from_node ? io : envelope(io, out.size());
-    } catch (const Error&) {
+  if (loc->replica.has_value()) {
+    Node* rep = node_ptr(*loc->replica);
+    if (rep != nullptr && rep->alive.load(std::memory_order_relaxed)) {
+      const std::size_t r = *loc->replica;
+      try {
+        auto io = rep->hierarchy.read(
+            storage::StorageHierarchy::replica_key(key), out);
+        io.from_replica = true;
+        replica_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+        count_fabric("replica_fallbacks");
+        return r == from_node ? io : envelope(io, out.size());
+      } catch (const Error&) {
+      }
     }
   }
   failed_remote_reads_.fetch_add(1, std::memory_order_relaxed);
@@ -265,27 +604,30 @@ double Fabric::estimated_remote_cost(std::size_t from_node,
       options_.remote_latency_seconds +
       static_cast<double>(bytes) / options_.remote_bandwidth;
   if (const auto loc = directory_.lookup(key)) {
-    if (loc->owner != from_node &&
-        nodes_[loc->owner]->alive.load(std::memory_order_relaxed)) {
-      const auto& h = nodes_[loc->owner]->hierarchy;
+    Node* owner = node_ptr(loc->owner);
+    if (loc->owner != from_node && owner != nullptr &&
+        owner->alive.load(std::memory_order_relaxed)) {
+      const auto& h = owner->hierarchy;
       if (const auto t = h.find(key)) {
         return h.tier(*t).read_cost(bytes) + envelope;
       }
     }
-    if (loc->replica.has_value() &&
-        nodes_[*loc->replica]->alive.load(std::memory_order_relaxed)) {
-      const std::size_t r = *loc->replica;
-      const auto& h = nodes_[r]->hierarchy;
-      const auto rkey = storage::StorageHierarchy::replica_key(key);
-      if (const auto t = h.find(rkey)) {
-        return h.tier(*t).read_cost(bytes) +
-               (r == from_node ? 0.0 : envelope);
+    if (loc->replica.has_value()) {
+      Node* rep = node_ptr(*loc->replica);
+      if (rep != nullptr && rep->alive.load(std::memory_order_relaxed)) {
+        const std::size_t r = *loc->replica;
+        const auto& h = rep->hierarchy;
+        const auto rkey = storage::StorageHierarchy::replica_key(key);
+        if (const auto t = h.find(rkey)) {
+          return h.tier(*t).read_cost(bytes) +
+                 (r == from_node ? 0.0 : envelope);
+        }
       }
     }
   }
   // Unknown or unreachable key: pessimistic — a slowest-tier fetch plus the
   // network hop, so planning never undercounts a degraded resolution.
-  const auto& h = nodes_[from_node]->hierarchy;
+  const auto& h = node_ptr(from_node)->hierarchy;
   return h.tier(h.tier_count() - 1).read_cost(bytes) + envelope;
 }
 
@@ -296,14 +638,17 @@ Fabric::Stats Fabric::stats() const {
   s.replica_fallbacks = replica_fallbacks_.load(std::memory_order_relaxed);
   s.failed_remote_reads = failed_remote_reads_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.migrations = migrations_.load(std::memory_order_relaxed);
+  s.migration_failures = migration_failures_.load(std::memory_order_relaxed);
   return s;
 }
 
 void Fabric::update_occupancy_gauges() const {
   if (!obs::enabled()) return;
   auto& registry = obs::MetricsRegistry::global();
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    const auto& h = nodes_[i]->hierarchy;
+  const std::size_t slots = node_count();
+  for (std::size_t i = 0; i < slots; ++i) {
+    const auto& h = node_ptr(i)->hierarchy;
     for (std::size_t t = 0; t < h.tier_count(); ++t) {
       const auto [used, capacity] = h.tier_usage(t);
       (void)capacity;
@@ -313,6 +658,7 @@ void Fabric::update_occupancy_gauges() const {
           .set(static_cast<std::int64_t>(used));
     }
   }
+  publish_epoch_gauge();
 }
 
 void Fabric::start_eviction_providers() {
@@ -322,8 +668,9 @@ void Fabric::start_eviction_providers() {
     stop_providers_ = false;
     providers_running_ = true;
   }
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    nodes_[i]->provider = std::thread([this, i] { provider_loop(i); });
+  const std::size_t slots = node_count();
+  for (std::size_t i = 0; i < slots; ++i) {
+    node_ptr(i)->provider = std::thread([this, i] { provider_loop(i); });
   }
 }
 
@@ -334,7 +681,10 @@ void Fabric::stop_eviction_providers() {
     stop_providers_ = true;
   }
   provider_cv_.notify_all();
-  for (auto& n : nodes_) {
+  // The table only grows, so re-reading node_count() each iteration also
+  // joins providers of nodes attached after the loop started.
+  for (std::size_t i = 0; i < node_count(); ++i) {
+    Node* n = node_ptr(i);
     if (n->provider.joinable()) n->provider.join();
   }
   std::scoped_lock lock(provider_mu_);
@@ -355,7 +705,9 @@ void Fabric::provider_loop(std::size_t node_index) {
 }
 
 void Fabric::tick_eviction(std::size_t node_index) {
-  auto& h = nodes_[node_index]->hierarchy;
+  Node* n = node_ptr(node_index);
+  if (n == nullptr || n->detached.load(std::memory_order_relaxed)) return;
+  auto& h = n->hierarchy;
   update_occupancy_gauges();
   if (h.tier_count() < 2) return;
   const auto [used, capacity] = h.tier_usage(0);

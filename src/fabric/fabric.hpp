@@ -24,12 +24,28 @@
 //     and demotes LRU blocks down-tier once occupancy crosses the high
 //     watermark, so steady-state serving never stalls on a full fast tier.
 //
+// Elastic topology (PR 8): the node table grows and shrinks at runtime.
+// attach_node() adds a node (same tier stack), seeds it with the replicated
+// metadata/geometry blocks, and kicks a *background* migration of exactly
+// the chunks whose directory owner changed — copy to the new owner, then
+// commit_move() cutover, then retire the old copy (which also invalidates
+// the old owner's cache entries). detach_node() drains: the node leaves the
+// directory's active set first (no new placements or replica targets), its
+// primaries are copied to their new owners and its replica copies repaired
+// onto the new ring successors, and only then is it marked detached. Queries
+// keep being served throughout — from the old owner until each chunk's
+// cutover, and from replicas during the copy window (PR 1's fallback is the
+// safety net); a resolution that races a cutover re-reads the directory and
+// retries the new owner before degrading.
+//
 // Everything above the hierarchy — ProgressiveReader, ReadSession,
 // serve::QueryScheduler — works against a node unchanged; remote resolution
 // is transparent. Counters: fabric.local_hits counts every read served from
 // a node's own tiers or cache (at the serving node), fabric.remote_reads /
 // fabric.replica_fallbacks count fabric resolutions, so one remote read
 // increments remote_reads once and local_hits once (the serve on the owner).
+// fabric.migrations counts committed ownership transfers; the topology.epoch
+// gauge mirrors ChunkDirectory::epoch().
 
 #include <atomic>
 #include <condition_variable>
@@ -37,6 +53,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -57,11 +74,22 @@ struct ImportReport {
   std::size_t sharded_bytes = 0;  // payload bytes of the sharded blocks
 };
 
+/// What one topology change's migration actually did.
+struct MigrationReport {
+  std::uint64_t epoch = 0;          // directory epoch the plan was made at
+  std::size_t chunks_moved = 0;     // committed ownership transfers
+  std::size_t bytes_moved = 0;      // payload bytes of those transfers
+  std::size_t replicas_repaired = 0;  // ring-successor copies (re)placed
+  std::size_t failed = 0;           // moves abandoned (no copy or no room)
+  bool superseded = false;          // a newer topology change cut it short
+};
+
 class Fabric {
  public:
   /// Every node gets the same tier stack (`node_tiers`) and placement
   /// policy. Eviction providers start automatically when
-  /// options.eviction_high > 0.
+  /// options.eviction_high > 0. The tier stack and policy are retained so
+  /// attach_node() can stamp out identical nodes later.
   Fabric(FabricOptions options, std::vector<storage::TierSpec> node_tiers,
          storage::PlacementPolicy policy = storage::PlacementPolicy::kFastestFit);
   ~Fabric();
@@ -69,7 +97,9 @@ class Fabric {
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
 
-  std::size_t node_count() const { return nodes_.size(); }
+  /// Node-table slots, including detached ones (ids are stable; a detached
+  /// node's slot is never reused).
+  std::size_t node_count() const;
   storage::StorageHierarchy& node(std::size_t i);
   const FabricOptions& options() const { return options_; }
   ChunkDirectory& directory() { return directory_; }
@@ -77,7 +107,8 @@ class Fabric {
 
   /// Attaches an independent BlockCache with this budget/sharding to every
   /// node — each node caches its own reads, including bytes it pulled from
-  /// a peer (so repeat remote reads are served locally).
+  /// a peer (so repeat remote reads are served locally). Nodes attached
+  /// later get the same cache configuration.
   void attach_node_caches(const cache::CacheConfig& per_node);
   cache::BlockCache* node_cache(std::size_t i);
 
@@ -89,6 +120,41 @@ class Fabric {
   ImportReport import_container(storage::StorageHierarchy& staging,
                                 const std::string& path);
 
+  // --- Elastic topology. ----------------------------------------------------
+
+  /// Grows the fabric by one node (same tier stack and policy as the rest)
+  /// and returns its stable id. The node is seeded with the replicated
+  /// metadata/geometry blocks so it can serve immediately; the chunks whose
+  /// directory owner changed migrate in the background (`background=false`
+  /// migrates before returning). Queries are served throughout.
+  std::uint32_t attach_node(bool background = true);
+
+  /// Moves every primary off node `id` (directory detach: the node stops
+  /// being a placement or replica target, then copy→cutover→retire per
+  /// chunk, then replica repair onto the new ring successors). The node
+  /// keeps serving in-flight reads throughout and remains attached — call
+  /// detach_node() to also remove it from service. Throws when `id` is the
+  /// last active node.
+  MigrationReport drain_node(std::uint32_t id);
+
+  /// drain_node() + removal from service: after the drain the node is
+  /// marked detached and no longer routes, evicts, or serves. Its slot (and
+  /// id) remain; re-attachment stamps out a fresh node with a new id.
+  MigrationReport detach_node(std::uint32_t id);
+
+  /// Re-plans against the current topology (e.g. after set_residency) and
+  /// migrates synchronously.
+  MigrationReport rebalance();
+
+  /// Joins any background migration and returns the last completed report.
+  MigrationReport wait_for_migration();
+
+  /// True while node `id` is part of the fabric (attached and not yet
+  /// detached). Note a draining node is still attached.
+  bool attached(std::size_t i) const;
+
+  // --- Failure simulation. --------------------------------------------------
+
   /// Simulated node failure: the node drops out of routing and remote
   /// resolution, and every tier read on it fails (a full-rate fault
   /// injector), so in-flight requests degrade to replica owners too.
@@ -96,9 +162,10 @@ class Fabric {
   void revive_node(std::size_t i);
   bool alive(std::size_t i) const;
 
-  /// Affinity routing for the query scheduler: the alive node owning the
-  /// most bytes of (path, var), falling back to the first alive node (or 0
-  /// when everything is down — the query then fails like any read would).
+  /// Affinity routing for the query scheduler: the alive *active* node
+  /// owning the most bytes of (path, var), falling back to the first alive
+  /// active node (or 0 when everything is down — the query then fails like
+  /// any read would). Draining and detached nodes are never selected.
   std::uint32_t route_query(const std::string& path,
                             const std::string& var) const;
 
@@ -113,11 +180,14 @@ class Fabric {
     std::uint64_t replica_fallbacks = 0;   // resolved from the replica owner
     std::uint64_t failed_remote_reads = 0; // no reachable copy
     std::uint64_t evictions = 0;           // provider demotions
+    std::uint64_t migrations = 0;          // committed ownership transfers
+    std::uint64_t migration_failures = 0;  // abandoned moves
   };
   Stats stats() const;
 
   /// Publishes per-node fast-tier occupancy gauges
-  /// (fabric.node<i>.tier0_used_bytes); the providers also refresh them.
+  /// (fabric.node<i>.tier0_used_bytes) and the topology.epoch gauge; the
+  /// providers and every topology change also refresh them.
   void update_occupancy_gauges() const;
 
   /// Planning estimate of resolving `key` from node `from_node`: the
@@ -125,6 +195,10 @@ class Fabric {
   /// (slowest-tier + envelope) for unknown keys.
   double estimated_remote_cost(std::size_t from_node, const std::string& key,
                                std::size_t bytes) const;
+
+  /// The directory's topology epoch (also surfaced through each node's
+  /// RemoteStore so planners above the hierarchy can watch it).
+  std::uint64_t topology_epoch() const { return directory_.epoch(); }
 
  private:
   /// The per-node storage::RemoteStore adapter the node's hierarchy calls.
@@ -147,6 +221,9 @@ class Fabric {
     void note_local_hit(const std::string& key) override {
       fabric_.note_local_hit(node_, key);
     }
+    std::uint64_t topology_epoch() const override {
+      return fabric_.topology_epoch();
+    }
 
    private:
     Fabric& fabric_;
@@ -159,8 +236,18 @@ class Fabric {
     storage::StorageHierarchy hierarchy;
     std::unique_ptr<NodeRemoteStore> remote;
     std::atomic<bool> alive{true};
+    std::atomic<bool> detached{false};
     std::thread provider;
   };
+
+  /// Slot pointer, or nullptr out of range. Nodes are never destroyed
+  /// before the fabric, so the pointer stays valid after the shared lock is
+  /// released; only the table itself needs guarding against growth.
+  Node* node_ptr(std::size_t i) const;
+  /// Builds a node, wires its remote store (and cache when configured), and
+  /// appends it to the table; returns its id. Starts its provider when the
+  /// providers are running.
+  std::uint32_t append_node();
 
   storage::IoResult remote_read_from(std::size_t from_node,
                                      const std::string& key, util::Bytes& out);
@@ -178,9 +265,41 @@ class Fabric {
   void provider_loop(std::size_t node_index);
   void tick_eviction(std::size_t node_index);
 
+  /// Executes one plan: per chunk, copy (primary, else replica) → place on
+  /// the new owner → commit_move cutover → retire the old copy (erase also
+  /// invalidates its cache entries) → repair the ring-successor replica.
+  /// Stops early when the plan's epoch is superseded.
+  MigrationReport run_migration(const RebalancePlan& plan);
+  /// drain_node() body; caller holds topology_mu_.
+  MigrationReport drain_locked(std::uint32_t id);
+  /// Ensures every recorded entry's replica copy sits on its current ring
+  /// successor, dropping stale copies elsewhere. `retired` (optional) also
+  /// has its stale *primary* leftovers cleaned.
+  std::size_t repair_replicas(std::optional<std::uint32_t> retired);
+  void launch_migration(RebalancePlan plan);
+  void publish_epoch_gauge() const;
+
   const FabricOptions options_;
+  const std::vector<storage::TierSpec> node_tiers_;
+  const storage::PlacementPolicy policy_;
   ChunkDirectory directory_;
+
+  /// Guards the node table against concurrent growth (attach_node) — not
+  /// the nodes themselves, which carry their own locks.
+  mutable std::shared_mutex nodes_mu_;
   std::vector<std::unique_ptr<Node>> nodes_;
+
+  /// Serializes topology changes (attach/drain/detach/rebalance).
+  std::mutex topology_mu_;
+  std::thread migration_thread_;
+  std::mutex migration_mu_;  // guards migration_thread_ + last_migration_
+  MigrationReport last_migration_;
+
+  /// Keys replicated to every node at import (metadata/geometry); a node
+  /// attached later is seeded with these so it can serve immediately.
+  std::mutex replicated_mu_;
+  std::vector<std::string> replicated_keys_;
+  std::optional<cache::CacheConfig> per_node_cache_;
 
   std::mutex provider_mu_;
   std::condition_variable provider_cv_;
@@ -192,6 +311,8 @@ class Fabric {
   std::atomic<std::uint64_t> replica_fallbacks_{0};
   std::atomic<std::uint64_t> failed_remote_reads_{0};
   std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> migrations_{0};
+  std::atomic<std::uint64_t> migration_failures_{0};
 };
 
 }  // namespace canopus::fabric

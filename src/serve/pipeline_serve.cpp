@@ -13,10 +13,21 @@ namespace canopus {
 
 serve::QueryScheduler& Pipeline::query_scheduler() {
   std::call_once(scheduler_once_, [this] {
-    scheduler_ = std::make_shared<serve::QueryScheduler>(
+    auto scheduler = std::make_shared<serve::QueryScheduler>(
         *hierarchy_, options_.serve.value_or(serve::ServeConfig{}),
         options_.parallel,
         session_pool_.has_value() ? &*session_pool_ : nullptr);
+    // Route across the attached fabric (if any), and keep routing current
+    // when the fabric is attached or swapped later: Pipeline::attach_fabric
+    // (fabric module) fires this hook under the same mutex. The hook
+    // captures the shared_ptr, not `this`, so it stays valid for the
+    // scheduler's whole lifetime.
+    std::scoped_lock lock(fabric_mu_);
+    scheduler->attach_fabric(fabric_);
+    on_fabric_change_ = [scheduler](fabric::Fabric* fabric) {
+      scheduler->attach_fabric(fabric);
+    };
+    scheduler_ = std::move(scheduler);
   });
   return *scheduler_;
 }

@@ -22,25 +22,11 @@ double seconds_between(std::chrono::steady_clock::time_point from,
   return std::chrono::duration<double>(to - from).count();
 }
 
-/// Serve-side twin of the facade's exception mapping: a query executes the
-/// open path, so a generic canopus::Error means a missing container or
-/// variable (kNotFound), not an internal invariant failure.
+/// Shared facade mapper (core/status.hpp): a query executes the open path,
+/// so a generic canopus::Error means a missing container or variable
+/// (kNotFound), not an internal invariant failure.
 Status status_from_query_exception() {
-  try {
-    throw;
-  } catch (const storage::CapacityError& e) {
-    return Status::failure(StatusCode::kCapacity, e.what());
-  } catch (const storage::IntegrityError& e) {
-    return Status::failure(StatusCode::kIntegrityError, e.what());
-  } catch (const storage::TierIoError& e) {
-    return Status::failure(StatusCode::kIoError, e.what());
-  } catch (const Error& e) {
-    return Status::failure(StatusCode::kNotFound, e.what());
-  } catch (const std::exception& e) {
-    return Status::failure(StatusCode::kInternal, e.what());
-  } catch (...) {
-    return Status::failure(StatusCode::kInternal, "unknown exception");
-  }
+  return status_from_current_exception(StatusCode::kNotFound);
 }
 
 void count_serve(const char* what) {
@@ -256,6 +242,7 @@ QueryOutcome QueryScheduler::run_query(QueryRequest request,
     hierarchy = &fabric->node(static_cast<std::size_t>(shard));
     count_serve("fabric_dispatches");
   }
+  out.result.shard = shard;
   CANOPUS_SPAN("serve.query", {{"var", request.var},
                                {"priority", request.priority},
                                {"shard", shard}});
@@ -270,7 +257,17 @@ QueryOutcome QueryScheduler::run_query(QueryRequest request,
         request.deadline_seconds.value_or(config_.default_deadline_seconds);
     const auto coarsest = static_cast<std::uint32_t>(reader.level_count() - 1);
     const std::uint32_t target = std::min(request.target_level, coarsest);
-    const CostModel model = CostModel::build(*hierarchy, reader, &calibration_);
+    // The cost model prices remote blocks through the directory's current
+    // ownership (RemoteStore::estimated_read_cost). A topology change bumps
+    // the epoch the node's RemoteStore surfaces; re-reading it before every
+    // step lets a long query re-plan against migrated ownership instead of
+    // budgeting with a retired layout.
+    const auto topology_epoch = [hierarchy]() -> std::uint64_t {
+      const auto* remote = hierarchy->remote_store();
+      return remote != nullptr ? remote->topology_epoch() : 0;
+    };
+    std::uint64_t model_epoch = topology_epoch();
+    CostModel model = CostModel::build(*hierarchy, reader, &calibration_);
     const core::RetrievalTimings at_open = reader.cumulative();
     // The base retrieval already spent part of the budget; plan the reachable
     // level with what is left. Even a budget the base alone exceeded serves
@@ -288,7 +285,15 @@ QueryOutcome QueryScheduler::run_query(QueryRequest request,
       }
       // Re-check the budget before every step with the calibrated estimate:
       // a plan that turned out optimistic stops early instead of blowing
-      // the deadline.
+      // the deadline. When the topology moved underneath the query
+      // (attach/detach/rebalance committed a new epoch), rebuild the model
+      // first so remaining steps are priced at the blocks' new homes.
+      if (const std::uint64_t now_epoch = topology_epoch();
+          now_epoch != model_epoch) {
+        model = CostModel::build(*hierarchy, reader, &calibration_);
+        model_epoch = now_epoch;
+        count_serve("replans");
+      }
       const double step_cost = next < model.steps().size()
                                    ? model.step(next).total()
                                    : 0.0;
@@ -309,6 +314,7 @@ QueryOutcome QueryScheduler::run_query(QueryRequest request,
     out.result.delta_rms = reader.last_delta_rms().value_or(0.0);
     out.result.deadline_seconds = deadline;
     out.result.timings = done;
+    out.result.topology_epoch = model_epoch;
 
     const bool faulted = reader.last_status() == core::RefineStatus::kDegraded;
     const bool accuracy_met =

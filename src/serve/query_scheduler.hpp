@@ -92,6 +92,14 @@ struct QueryResult {
   core::RetrievalTimings timings;   // actual retrieval cost (incl. base)
   double queue_seconds = 0.0;       // wall time spent waiting for a worker
   std::uint64_t dispatch_order = 0; // global execution sequence (1-based)
+  /// Fabric node the query was dispatched to (-1 = the scheduler's own
+  /// hierarchy, no fabric attached). Tests assert a query planned after a
+  /// detach never lands on the removed node.
+  std::int32_t shard = -1;
+  /// Directory epoch the final plan was built against. A topology change
+  /// mid-query bumps the epoch; the scheduler rebuilds its cost model when
+  /// it notices (see run_query), and this reports the last epoch used.
+  std::uint64_t topology_epoch = 0;
 };
 
 struct QueryOutcome {

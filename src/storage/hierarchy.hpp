@@ -78,6 +78,12 @@ class RemoteStore {
   /// Notification that a read of `key` was served from local storage (one
   /// per successful serve, after the bytes are in hand). Default no-op.
   virtual void note_local_hit(const std::string& key) { (void)key; }
+
+  /// Monotone epoch of the cluster topology behind this resolver (node
+  /// attach/detach/rebalance). Planners (serve::CostModel) snapshot it and
+  /// rebuild their residency probes when it moves, so a plan never routes
+  /// against a retired owner. Standalone resolvers stay at 0.
+  virtual std::uint64_t topology_epoch() const { return 0; }
 };
 
 enum class PlacementPolicy : std::uint8_t {
@@ -113,7 +119,8 @@ class StorageHierarchy {
         remote_(o.remote_),
         round_robin_next_(o.round_robin_next_),
         access_clock_(o.access_clock_),
-        last_access_(std::move(o.last_access_)) {}
+        last_access_(std::move(o.last_access_)),
+        tier_residency_(std::move(o.tier_residency_)) {}
   StorageHierarchy& operator=(StorageHierarchy&&) = delete;
   StorageHierarchy(const StorageHierarchy&) = delete;
   StorageHierarchy& operator=(const StorageHierarchy&) = delete;
@@ -121,6 +128,37 @@ class StorageHierarchy {
   std::size_t tier_count() const { return tiers_.size(); }
   StorageTier& tier(std::size_t i) { return *tiers_[i]; }
   const StorageTier& tier(std::size_t i) const { return *tiers_[i]; }
+
+  // --- Elastic tier topology (runtime grow/shrink). ------------------------
+
+  /// Inserts a tier at runtime (at `index`, or appended as the new slowest
+  /// when omitted) and returns its index. The attached fault injector is
+  /// re-bound positionally: FaultProfiles keyed by tier index follow the
+  /// *position*, not the tier, after an attach or detach.
+  std::size_t attach_tier(TierSpec spec,
+                          std::optional<std::size_t> index = std::nullopt);
+
+  /// Drains every object on tier `i` to the fastest remaining tier with
+  /// room, then removes the tier; returns the drained keys. Cached entries
+  /// stay valid (same key, same bytes). Throws CapacityError when the
+  /// remaining tiers cannot absorb the contents — already-drained objects
+  /// stay moved. Throws Error when `i` is the only tier.
+  std::vector<std::string> detach_tier(std::size_t i);
+
+  /// Restricts placement of keys starting with `prefix` to the named tiers
+  /// (a residency set, matched by TierSpec::name so it survives tier
+  /// attach/detach). Placement picks the fastest resident tier with room
+  /// (kSlowestOnly keeps its meaning within the set); a residency set whose
+  /// tiers are all gone falls back to the full stack so keys never become
+  /// unplaceable. Pass an empty vector to clear. Longest matching prefix
+  /// wins. Affects place()/place_with_replica(); reads and migration are
+  /// unrestricted.
+  void set_tier_residency(const std::string& prefix,
+                          std::vector<std::string> tier_names);
+
+  /// Indices of the tiers the residency set allows for `key` (empty when
+  /// unrestricted or when no named tier currently exists).
+  std::vector<std::size_t> resident_tiers(const std::string& key) const;
 
   /// Locked (used, capacity) snapshot of tier `i` — safe to call from a
   /// background maintenance thread while readers and writers are active.
@@ -245,6 +283,15 @@ class StorageHierarchy {
   RemoteStore* remote_store() const { return remote_; }
 
  private:
+  /// choose_tier() narrowed to the key's tier-residency set (when one
+  /// matches and names at least one live tier).
+  std::optional<std::size_t> choose_tier_for(const std::string& key,
+                                             std::size_t nbytes) const;
+  std::vector<std::size_t> resident_tiers_locked(const std::string& key) const;
+  /// Re-points every tier's fault-injector binding at its current index
+  /// (after attach_tier/detach_tier shifted positions).
+  void rebind_fault_injector_locked();
+
   /// The pre-cache read path: placement lookup, retry loop, replica
   /// fallback. read() delegates here on a cache miss (or when no cache is
   /// attached).
@@ -281,6 +328,8 @@ class StorageHierarchy {
   // LRU bookkeeping: monotone clock, last-access stamp per key.
   mutable std::uint64_t access_clock_ = 0;
   mutable std::map<std::string, std::uint64_t> last_access_;
+  // Tier residency: key prefix -> allowed tier names (longest prefix wins).
+  std::map<std::string, std::vector<std::string>> tier_residency_;
 };
 
 }  // namespace canopus::storage

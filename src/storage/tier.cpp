@@ -138,6 +138,16 @@ std::size_t StorageTier::object_size(const std::string& key) const {
   return it->second;
 }
 
+std::vector<std::string> StorageTier::keys() const {
+  std::vector<std::string> out;
+  out.reserve(payload_sizes_.size());
+  for (const auto& [key, size] : payload_sizes_) {
+    (void)size;
+    out.push_back(key);
+  }
+  return out;
+}
+
 void StorageTier::erase(const std::string& key) {
   if (!contains(key)) return;
   used_ -= object_size(key);

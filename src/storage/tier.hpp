@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "util/byte_buffer.hpp"
 
@@ -78,6 +79,10 @@ class StorageTier {
 
   bool contains(const std::string& key) const;
   std::size_t object_size(const std::string& key) const;
+
+  /// Names of every object on this tier (sorted). Used by the hierarchy's
+  /// drain path when a tier is detached at runtime.
+  std::vector<std::string> keys() const;
 
   /// Removes an object (no-op when absent); frees its capacity.
   void erase(const std::string& key);
