@@ -444,6 +444,57 @@ RuntimeConfig load_config(const std::string& xml_text) {
     }
     config.fabric = fo;
   }
+
+  if (const auto* tiering_node = root->child("tiering")) {
+    tiering::TieringConfig tc;
+    if (tiering_node->has_attr("enabled")) {
+      tc.enabled = parse_bool(tiering_node->attr("enabled"));
+    }
+    if (tiering_node->has_attr("half-life")) {
+      tc.half_life_seconds = parse_duration(tiering_node->attr("half-life"));
+      CANOPUS_CHECK(tc.half_life_seconds > 0.0,
+                    "<tiering> half-life must be > 0");
+    }
+    if (tiering_node->has_attr("promote-above")) {
+      tc.promote_threshold = parse_double(tiering_node->attr("promote-above"),
+                                          "<tiering> attribute 'promote-above'");
+      CANOPUS_CHECK(tc.promote_threshold >= 0.0,
+                    "<tiering> promote-above must be >= 0");
+    }
+    if (tiering_node->has_attr("demote-below")) {
+      tc.demote_threshold = parse_double(tiering_node->attr("demote-below"),
+                                         "<tiering> attribute 'demote-below'");
+      CANOPUS_CHECK(tc.demote_threshold >= 0.0,
+                    "<tiering> demote-below must be >= 0");
+    }
+    // Mirror of the <fabric> eviction-low <= eviction-high check: an
+    // inverted hysteresis band (every heat value asks for both moves at
+    // once) is a config bug, rejected with the element and attributes named.
+    CANOPUS_CHECK(tc.demote_threshold < tc.promote_threshold,
+                  "<tiering> attribute 'demote-below' must be < attribute "
+                  "'promote-above' (hysteresis band)");
+    if (tiering_node->has_attr("interval")) {
+      tc.interval_seconds = parse_duration(tiering_node->attr("interval"));
+      CANOPUS_CHECK(tc.interval_seconds > 0.0,
+                    "<tiering> interval must be > 0");
+    }
+    if (tiering_node->has_attr("max-moves")) {
+      tc.max_moves_per_tick = static_cast<std::size_t>(parse_uint(
+          tiering_node->attr("max-moves"), "<tiering> attribute 'max-moves'"));
+      CANOPUS_CHECK(tc.max_moves_per_tick >= 1,
+                    "<tiering> max-moves must be >= 1");
+    }
+    if (tiering_node->has_attr("cooldown-ticks")) {
+      tc.cooldown_ticks = static_cast<std::uint32_t>(
+          parse_uint(tiering_node->attr("cooldown-ticks"),
+                     "<tiering> attribute 'cooldown-ticks'"));
+    }
+    if (tiering_node->has_attr("reserve")) {
+      tc.reserve = parse_probability(tiering_node->attr("reserve"), "reserve");
+      CANOPUS_CHECK(tc.reserve < 1.0, "<tiering> reserve must be < 1");
+    }
+    config.tiering = tc;
+  }
   return config;
 }
 
@@ -480,6 +531,7 @@ canopus::Options RuntimeConfig::options() const {
   out.cache = cache;
   out.serve = serve;
   out.fabric = fabric;
+  out.tiering = tiering;
   if (io.has_value()) out.io = *io;
   return out;
 }

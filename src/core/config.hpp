@@ -33,6 +33,9 @@
 //     <fabric nodes="4" partition="range" remote-us="200" remote-bw="1GB/s"
 //             eviction-high="0.9" eviction-low="0.75"
 //             eviction-interval="10ms"/>
+//     <tiering enabled="true" half-life="500ms" promote-above="4"
+//              demote-below="1" interval="10ms" max-moves="8"
+//              cooldown-ticks="2" reserve="0.1"/>
 //   </canopus-config>
 //
 // Presets (tmpfs, nvram, ssd, burst-buffer, lustre, campaign) pull the
@@ -82,6 +85,14 @@
 // `eviction-high`/`eviction-low`/`eviction-interval` the per-node
 // anticipatory eviction provider's watermarks (fractions of tier-0
 // capacity; high = 0 disables the provider).
+//
+// The optional <tiering> element configures the workload-adaptive tier
+// advisor (src/tiering): `enabled` starts its background policy thread,
+// `half-life` the access-heat decay, `promote-above`/`demote-below` the
+// hysteresis band (promote-above must exceed demote-below — inverted bands
+// are rejected like inverted eviction watermarks), `interval` the policy
+// period, `max-moves`/`cooldown-ticks` the churn bounds, and `reserve` the
+// headroom fraction kept free on a promotion's target tier (in [0, 1)).
 
 #include <optional>
 #include <string>
@@ -96,6 +107,7 @@
 #include "serve/serve_config.hpp"
 #include "storage/fault.hpp"
 #include "storage/hierarchy.hpp"
+#include "tiering/tiering_config.hpp"
 
 namespace canopus::core {
 
@@ -138,12 +150,17 @@ struct RuntimeConfig {
   /// into it) is the application's call, since it needs tier specs per node.
   std::optional<canopus::fabric::FabricOptions> fabric;
 
+  /// Workload-adaptive tiering knobs from the optional <tiering> element;
+  /// nullopt keeps placement static. Forwarded by Pipeline::from_config into
+  /// Options::tiering (the pipeline builds the TierAdvisor from it).
+  std::optional<canopus::tiering::TieringConfig> tiering;
+
   /// Builds the configured hierarchy, with the fault injector attached and
   /// the retry policy applied when the document configured them.
   storage::StorageHierarchy make_hierarchy() const;
 
   /// The document's option blocks as one canopus::Options (parallel,
-  /// observability, cache, io, serve, fabric). retry and faults are left
+  /// observability, cache, io, serve, fabric, tiering). retry and faults are left
   /// unset on purpose: make_hierarchy() already applies them, and a Pipeline
   /// built from (make_hierarchy(), options()) must not apply them twice.
   canopus::Options options() const;

@@ -69,6 +69,25 @@ void Options::validate() const {
               "fabric.eviction_interval_seconds must be finite and > 0");
     }
   }
+  if (tiering.has_value()) {
+    require(finite_positive(tiering->half_life_seconds),
+            "tiering.half_life_seconds must be finite and > 0");
+    require(std::isfinite(tiering->promote_threshold) &&
+                tiering->promote_threshold >= 0.0,
+            "tiering.promote_threshold must be finite and >= 0");
+    require(std::isfinite(tiering->demote_threshold) &&
+                tiering->demote_threshold >= 0.0 &&
+                tiering->demote_threshold < tiering->promote_threshold,
+            "tiering.demote_threshold must be in [0, promote_threshold) — "
+            "an inverted hysteresis band would thrash");
+    require(finite_positive(tiering->interval_seconds),
+            "tiering.interval_seconds must be finite and > 0");
+    require(tiering->max_moves_per_tick >= 1,
+            "tiering.max_moves_per_tick must be >= 1");
+    require(std::isfinite(tiering->reserve) && tiering->reserve >= 0.0 &&
+                tiering->reserve < 1.0,
+            "tiering.reserve must be in [0, 1)");
+  }
 }
 
 Status Options::check() const {

@@ -42,6 +42,7 @@
 #include "obs/observability.hpp"
 #include "serve/serve_config.hpp"
 #include "storage/hierarchy.hpp"
+#include "tiering/tiering_config.hpp"
 
 namespace canopus {
 
@@ -80,6 +81,13 @@ struct Options {
   /// carrying the block here gives XML configs and builders one home for it
   /// (RuntimeConfig::options() fills it from the <fabric> element).
   std::optional<fabric::FabricOptions> fabric;
+  /// Workload-adaptive tiering (heat tracking + TierAdvisor policy). When
+  /// set, Pipeline::tier_advisor() is built with these knobs — and created
+  /// eagerly by query_scheduler() when `tiering->enabled`, so queries feed
+  /// heat and plan against predicted residency from the first submission.
+  /// Leave unset for static placement (the advisor can still be created
+  /// explicitly with defaults via Pipeline::tier_advisor()).
+  std::optional<tiering::TieringConfig> tiering;
 
   // --- Fluent builders (each returns *this so calls chain). -----------------
 
@@ -126,6 +134,10 @@ struct Options {
   }
   Options& with_fabric(fabric::FabricOptions value) {
     fabric = value;
+    return *this;
+  }
+  Options& with_tiering(tiering::TieringConfig value) {
+    tiering = value;
     return *this;
   }
 

@@ -79,6 +79,13 @@ namespace fabric {
 class Fabric;
 }  // namespace fabric
 
+// And for workload-adaptive tiering: the members touching
+// tiering::TierAdvisor are defined in src/tiering/pipeline_tiering.cpp.
+namespace tiering {
+class TierAdvisor;
+struct TieringReport;
+}  // namespace tiering
+
 /// Deprecated spelling of canopus::Options, kept so pre-PR-8 call sites
 /// (designated initializers over the same member names) compile unchanged.
 /// New code should spell it canopus::Options; see README.md's migration
@@ -248,6 +255,20 @@ class Pipeline {
   /// stats, and the pause/resume admission gate.
   serve::QueryScheduler& query_scheduler();
 
+  // --- Adaptive tiering (defined in src/tiering/pipeline_tiering.cpp). ------
+
+  /// The pipeline's TierAdvisor, created on first use from Options::tiering
+  /// (or defaults); never null. On creation it watches the pipeline's
+  /// hierarchy, follows the attached fabric (now and on later attaches), is
+  /// handed to the query scheduler as its predicted-residency source, and —
+  /// when Options::tiering.enabled — starts its background policy thread.
+  /// query_scheduler() creates it implicitly when tiering is enabled.
+  tiering::TierAdvisor& tier_advisor();
+
+  /// Counter snapshot of the advisor (ticks, promotions, demotions, ...);
+  /// creates the advisor on first use like tier_advisor().
+  tiering::TieringReport tiering_report();
+
   // --- Cluster control plane (defined in src/fabric/pipeline_fabric.cpp). ---
 
   /// Plugs a serving fabric into the facade (borrowed; must outlive the
@@ -316,19 +337,29 @@ class Pipeline {
   /// options_.parallel.threads; sessions fall back to the global pool when
   /// no thread count is pinned).
   std::optional<util::ThreadPool> session_pool_;
+  /// Lazily created by tier_advisor() (definition lives in the tiering
+  /// module). Declared before scheduler_ so the scheduler — which holds a
+  /// raw pointer to the advisor — is destroyed first. shared_ptr's
+  /// type-erased deleter makes the incomplete type safe to destroy from
+  /// core TUs.
+  std::shared_ptr<tiering::TierAdvisor> advisor_;
+  std::once_flag advisor_once_;
   /// Lazily created by query_scheduler() (definition lives in the serve
   /// module). Declared after session_pool_ so the scheduler's workers join
   /// before the pool they execute on is torn down. shared_ptr's type-erased
   /// deleter makes the incomplete type safe to destroy from core TUs.
   std::shared_ptr<serve::QueryScheduler> scheduler_;
   std::once_flag scheduler_once_;
-  /// The attached fabric and the scheduler-notification hook. The hook is a
-  /// type-erased callback installed by query_scheduler() (serve module) and
-  /// invoked by attach_fabric() (fabric module), so neither module needs the
-  /// other's types; fabric_mu_ orders the two against each other.
+  /// The attached fabric plus the cross-module notification hooks. Each hook
+  /// is a type-erased callback installed by one module and invoked by
+  /// another (scheduler↔fabric, advisor↔fabric, scheduler↔advisor), so no
+  /// module needs another's types; fabric_mu_ orders them all. New hook
+  /// installers compose with (wrap) any previously installed callback.
   mutable std::mutex fabric_mu_;
   fabric::Fabric* fabric_ = nullptr;
   std::function<void(fabric::Fabric*)> on_fabric_change_;
+  tiering::TierAdvisor* advisor_raw_ = nullptr;
+  std::function<void(tiering::TierAdvisor*)> on_advisor_change_;
 };
 
 }  // namespace canopus

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <utility>
 
 #include "core/delta.hpp"
@@ -743,12 +744,30 @@ double ProgressiveReader::estimated_refine_cost(std::uint32_t level) const {
   CANOPUS_CHECK(level < levels_, "level out of range");
   const auto info = reader_.inq_var(var_);
   const cache::BlockCache* cache = hierarchy_.block_cache();
+  // A block's recorded tier is its *write-time* placement; background
+  // demotion (fabric eviction, make_room) and the tier advisor move objects
+  // afterwards, and charging the stale tier makes planned cost diverge from
+  // achieved cost. Price every block at its live residency instead; a key no
+  // local tier holds is charged at the remote store's estimate.
+  const storage::RemoteStore* remote = hierarchy_.remote_store();
+  const auto live_tier =
+      [this](const adios::BlockRecord& b) -> std::optional<std::size_t> {
+    if (const auto where = hierarchy_.find(b.object_key)) return where;
+    return std::nullopt;
+  };
   double cost = 0.0;
   // Delta chunks in chunk order, for the ring model below: with the async
   // engine on they run depth-way overlapped (and, uncached, with per-batch
   // tier-latency amortization), so planning charges their makespan — the
   // mirror of what the step's RetrievalTimings will actually report.
-  std::vector<std::pair<std::uint32_t, const adios::BlockRecord*>> deltas;
+  // Each entry carries the chunk's live tier so the same-tier batching test
+  // below groups by where chunks are, not where they were written.
+  struct DeltaOp {
+    std::uint32_t chunk = 0;
+    const adios::BlockRecord* block = nullptr;
+    std::optional<std::size_t> tier;
+  };
+  std::vector<DeltaOp> deltas;
   for (const auto& b : info.blocks) {
     if (b.level != level) continue;
     const bool data = b.kind == adios::BlockKind::kDelta;
@@ -761,25 +780,32 @@ double ProgressiveReader::estimated_refine_cost(std::uint32_t level) const {
          cache->contains(storage::StorageHierarchy::decoded_alias(b.object_key)))) {
       continue;  // cache hits cost zero simulated seconds
     }
-    if (data && io_config_.enabled() && b.chunk_count > 1) {
-      deltas.emplace_back(b.chunk, &b);
+    const std::optional<std::size_t> where = live_tier(b);
+    if (!where.has_value() && remote != nullptr) {
+      cost += remote->estimated_read_cost(b.object_key, b.stored_bytes);
       continue;
     }
-    cost += hierarchy_.tier(b.tier).read_cost(b.stored_bytes);
+    const std::size_t tier = where.value_or(b.tier);
+    if (data && io_config_.enabled() && b.chunk_count > 1) {
+      deltas.push_back({b.chunk, &b, tier});
+      continue;
+    }
+    cost += hierarchy_.tier(tier).read_cost(b.stored_bytes);
   }
   if (!deltas.empty()) {
     std::sort(deltas.begin(), deltas.end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
+              [](const DeltaOp& a, const DeltaOp& b) { return a.chunk < b.chunk; });
     const std::uint32_t batch = std::clamp<std::uint32_t>(
         io_config_.batch == 0 ? 1 : io_config_.batch, 1, io_config_.depth);
     std::vector<double> per_op;
     per_op.reserve(deltas.size());
     for (std::size_t i = 0; i < deltas.size(); ++i) {
-      const auto& b = *deltas[i].second;
+      const auto& b = *deltas[i].block;
+      const std::size_t tier = *deltas[i].tier;
       if (cache != nullptr) {
         // A hierarchy fronted by a block cache serves batches through the
         // single-flight cache path — no round-trip amortization there.
-        per_op.push_back(hierarchy_.tier(b.tier).read_cost(b.stored_bytes));
+        per_op.push_back(hierarchy_.tier(tier).read_cost(b.stored_bytes));
         continue;
       }
       // read_batch charges one tier round trip per batch: the first op of a
@@ -787,13 +813,13 @@ double ProgressiveReader::estimated_refine_cost(std::uint32_t level) const {
       // bytes only.
       bool first_on_tier = true;
       for (std::size_t j = i - i % batch; j < i; ++j) {
-        if (deltas[j].second->tier == b.tier) {
+        if (deltas[j].tier == tier) {
           first_on_tier = false;
           break;
         }
       }
       per_op.push_back(
-          hierarchy_.tier(b.tier).batched_read_cost(b.stored_bytes, first_on_tier));
+          hierarchy_.tier(tier).batched_read_cost(b.stored_bytes, first_on_tier));
     }
     cost += io::overlap_makespan(per_op, io_config_.depth);
   }

@@ -65,6 +65,17 @@ std::uint32_t Fabric::append_node() {
       node->hierarchy.attach_block_cache(
           std::make_shared<cache::BlockCache>(*per_node_cache_));
     }
+    // A node attached mid-run inherits the tiering listeners, so heat keeps
+    // flowing from the moment the rebalance hands it chunks.
+    {
+      std::scoped_lock hooks(hooks_mu_);
+      if (node_access_listener_) {
+        node->hierarchy.attach_access_listener(node_access_listener_);
+      }
+      if (node_move_listener_) {
+        node->hierarchy.attach_move_listener(node_move_listener_);
+      }
+    }
     nodes_.push_back(std::move(node));
   }
   {
@@ -719,7 +730,22 @@ void Fabric::tick_eviction(std::size_t node_index) {
       std::clamp(options_.eviction_low, 0.0, options_.eviction_high);
   const auto target_free =
       static_cast<std::size_t>((1.0 - low) * static_cast<double>(capacity));
+  EvictionDelegate delegate;
+  {
+    std::scoped_lock hooks(hooks_mu_);
+    delegate = eviction_delegate_;
+  }
   try {
+    if (delegate) {
+      // Heat-aware victim selection (the tier advisor's coldest-first
+      // policy) instead of the built-in LRU demotion.
+      const std::size_t demoted = delegate(node_index, h, target_free);
+      if (demoted > 0) {
+        evictions_.fetch_add(demoted, std::memory_order_relaxed);
+        count_fabric("evictions", demoted);
+      }
+      return;
+    }
     const auto demoted = h.make_room(0, target_free);
     if (!demoted.empty()) {
       evictions_.fetch_add(demoted.size(), std::memory_order_relaxed);
@@ -727,6 +753,32 @@ void Fabric::tick_eviction(std::size_t node_index) {
     }
   } catch (const Error&) {
     // Lower tiers full or nothing demotable; leave it for the next tick.
+  }
+}
+
+void Fabric::set_eviction_delegate(EvictionDelegate delegate) {
+  std::scoped_lock lock(hooks_mu_);
+  eviction_delegate_ = std::move(delegate);
+}
+
+void Fabric::set_node_access_listener(
+    storage::StorageHierarchy::AccessListener l) {
+  {
+    std::scoped_lock lock(hooks_mu_);
+    node_access_listener_ = l;
+  }
+  for (std::size_t i = 0; i < node_count(); ++i) {
+    node_ptr(i)->hierarchy.attach_access_listener(l);
+  }
+}
+
+void Fabric::set_node_move_listener(storage::StorageHierarchy::MoveListener l) {
+  {
+    std::scoped_lock lock(hooks_mu_);
+    node_move_listener_ = l;
+  }
+  for (std::size_t i = 0; i < node_count(); ++i) {
+    node_ptr(i)->hierarchy.attach_move_listener(l);
   }
 }
 

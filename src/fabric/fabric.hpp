@@ -50,6 +50,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -200,6 +201,25 @@ class Fabric {
   /// RemoteStore so planners above the hierarchy can watch it).
   std::uint64_t topology_epoch() const { return directory_.epoch(); }
 
+  // --- Tiering hooks (src/tiering layers above fabric, so these are
+  // type-erased; the TierAdvisor plugs in through Pipeline). ---------------
+
+  /// Replaces the eviction providers' LRU make_room with a caller-supplied
+  /// policy: invoked with the node index, the node's hierarchy, and the
+  /// fast-tier free-byte target when occupancy crosses eviction_high.
+  /// Returns the number of objects it demoted (counted as evictions). An
+  /// empty function restores the LRU default.
+  using EvictionDelegate = std::function<std::size_t(
+      std::size_t node_index, storage::StorageHierarchy& hierarchy,
+      std::size_t target_free_bytes)>;
+  void set_eviction_delegate(EvictionDelegate delegate);
+
+  /// Installs the listener on every node's hierarchy — current nodes now and
+  /// future nodes at attach — so access heat and residency observations keep
+  /// flowing across rebalance epochs. Empty functions detach.
+  void set_node_access_listener(storage::StorageHierarchy::AccessListener l);
+  void set_node_move_listener(storage::StorageHierarchy::MoveListener l);
+
  private:
   /// The per-node storage::RemoteStore adapter the node's hierarchy calls.
   class NodeRemoteStore : public storage::RemoteStore {
@@ -300,6 +320,13 @@ class Fabric {
   std::mutex replicated_mu_;
   std::vector<std::string> replicated_keys_;
   std::optional<cache::CacheConfig> per_node_cache_;
+
+  /// Tiering hooks (see set_eviction_delegate / set_node_*_listener).
+  /// hooks_mu_ is a leaf lock: holders never take another fabric mutex.
+  mutable std::mutex hooks_mu_;
+  EvictionDelegate eviction_delegate_;
+  storage::StorageHierarchy::AccessListener node_access_listener_;
+  storage::StorageHierarchy::MoveListener node_move_listener_;
 
   std::mutex provider_mu_;
   std::condition_variable provider_cv_;

@@ -33,7 +33,12 @@ double overlap_makespan(const std::vector<double>& costs, std::uint32_t depth) {
 
 IoRing::IoRing(const storage::StorageHierarchy& hierarchy, IoConfig config,
                util::ThreadPool* pool)
-    : hierarchy_(hierarchy), config_(config), pool_(pool) {}
+    : hierarchy_(hierarchy),
+      config_(config),
+      pool_(pool),
+      max_batch_(std::clamp<std::uint32_t>(
+          config.batch == 0 ? 1 : config.batch, 1,
+          std::max<std::uint32_t>(1, config.depth))) {}
 
 IoRing::~IoRing() {
   std::unique_lock<std::mutex> lock(mu_);
@@ -47,7 +52,14 @@ IoRing::~IoRing() {
 std::size_t IoRing::submit(std::string key) {
   std::unique_lock<std::mutex> lock(mu_);
   const std::size_t id = next_id_++;
-  queue_.push_back(Pending{id, std::move(key)});
+  // Group assignment happens here, in submission order, so batch boundaries
+  // never depend on how the background driver races the submitter.
+  if (group_fill_ >= max_batch_) {
+    ++group_counter_;
+    group_fill_ = 0;
+  }
+  ++group_fill_;
+  queue_.push_back(Pending{id, std::move(key), group_counter_});
   ++stats_.submitted;
   if (obs::enabled()) {
     obs::MetricsRegistry::global().gauge("io.inflight").set(
@@ -70,24 +82,40 @@ void IoRing::maybe_spawn_driver_locked() {
     std::unique_lock<std::mutex> lock(mu_);
     driver_scheduled_ = false;
     const std::uint32_t d = std::max<std::uint32_t>(1, config_.depth);
-    if (!executing_ && !queue_.empty() && ready_.size() < d) pump(lock);
+    if (!executing_ && !queue_.empty() && ready_.size() < d) {
+      pump(lock, /*flush_open_group=*/false);
+    }
     cv_.notify_all();
   });
 }
 
-void IoRing::pump(std::unique_lock<std::mutex>& lock) {
+void IoRing::pump(std::unique_lock<std::mutex>& lock, bool flush_open_group) {
   CANOPUS_ASSERT(!executing_);
   executing_ = true;
   const std::uint32_t depth = std::max<std::uint32_t>(1, config_.depth);
-  const std::uint32_t max_batch = std::clamp<std::uint32_t>(
-      config_.batch == 0 ? 1 : config_.batch, 1, depth);
-  while (!queue_.empty() && ready_.size() < depth) {
-    const std::size_t take = std::min<std::size_t>(
-        {static_cast<std::size_t>(max_batch), depth - ready_.size(),
-         queue_.size()});
+  while (!queue_.empty()) {
+    // The front run: every queued member of the front op's logical group.
+    // Groups are contiguous in the queue because submit() assigns them in
+    // submission order and pump() only ever takes whole runs.
+    const std::size_t group = queue_.front().group;
+    std::size_t run = 1;
+    while (run < queue_.size() && queue_[run].group == group) ++run;
+    const bool closed = group < group_counter_ || run >= max_batch_;
+    // The driver leaves an open tail group for wait_next()'s inline pump:
+    // issuing a partial group here would split it at a race-dependent point
+    // and change the batch-amortized simulated cost run to run.
+    if (!closed && !flush_open_group) break;
+    // A group is issued whole or not at all; wait for ring slots.
+    if (ready_.size() + run > depth) break;
+    if (!closed) {
+      // Flushing the open tail closes it, so later submissions start a fresh
+      // group instead of retroactively extending this one.
+      ++group_counter_;
+      group_fill_ = 0;
+    }
     std::vector<Pending> ops;
-    ops.reserve(take);
-    for (std::size_t i = 0; i < take; ++i) {
+    ops.reserve(run);
+    for (std::size_t i = 0; i < run; ++i) {
       ops.push_back(std::move(queue_.front()));
       queue_.pop_front();
     }
@@ -159,10 +187,11 @@ IoCompletion IoRing::wait_next() {
       return c;
     }
     if (!queue_.empty() && !executing_) {
-      // No background driver is making progress — pump a batch inline. This
-      // keeps the engine live on null pools, saturated pools, and calls from
-      // pool workers themselves.
-      pump(lock);
+      // No background driver is making progress — pump inline, including the
+      // open tail group (no further submissions can extend it while this
+      // thread blocks here). This keeps the engine live on null pools,
+      // saturated pools, and calls from pool workers themselves.
+      pump(lock, /*flush_open_group=*/true);
       continue;
     }
     cv_.wait(lock);

@@ -14,10 +14,18 @@
 // executor at a time, and read_batch preserves key order inside a batch, so
 // the tiers (and the seeded fault injector) see the same operation sequence
 // as a serial read loop — batched submission changes when I/O happens, never
-// what happens to each op. Execution is opportunistic: a driver task on the
-// worker pool drains the queue in the background, and wait_next() pumps
-// batches inline whenever no driver is active (including pools with zero
-// spare workers), so consuming completions can never deadlock.
+// what happens to each op. Batch *boundaries* are deterministic too: every op
+// is assigned to a logical group of exactly `batch` ops at submit time, and a
+// group is always issued as one read_batch call. This matters because
+// read_batch amortizes tier round-trip latency within a call — if the batch
+// split depended on how far the submitter had raced ahead of the background
+// driver, the simulated clock would differ run to run. The driver therefore
+// executes only *closed* groups (a full `batch` of members); the open tail
+// group is flushed solely by wait_next()'s inline pump, whose timing is fixed
+// by the caller's submit/wait sequence. Execution is opportunistic: a driver
+// task on the worker pool drains closed groups in the background, and
+// wait_next() pumps inline whenever no driver is active (including pools with
+// zero spare workers), so consuming completions can never deadlock.
 //
 // Accounting for overlapped I/O lives next door: overlap_makespan() converts
 // a list of per-op simulated costs into the simulated wall-clock of running
@@ -100,17 +108,22 @@ class IoRing {
   struct Pending {
     std::size_t id;
     std::string key;
+    std::size_t group;  // logical batch assigned at submit time
   };
 
-  /// Executes queued batches while completions stay under the depth bound.
-  /// Runs with `lock` held; drops it around the actual I/O.
-  void pump(std::unique_lock<std::mutex>& lock);
+  /// Executes queued groups while completions stay under the depth bound.
+  /// Runs with `lock` held; drops it around the actual I/O. With
+  /// `flush_open_group` false (the background driver) only closed groups are
+  /// issued; true (inline from wait_next) also flushes — and closes — the
+  /// open tail group.
+  void pump(std::unique_lock<std::mutex>& lock, bool flush_open_group);
   void note_completion_locked(IoCompletion&& c);
   void maybe_spawn_driver_locked();
 
   const storage::StorageHierarchy& hierarchy_;
   const IoConfig config_;
   util::ThreadPool* pool_;  // not owned; may be null
+  const std::uint32_t max_batch_;  // effective group size (batch clamped)
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -119,6 +132,8 @@ class IoRing {
   bool executing_ = false;           // exactly one pump loop at a time
   bool driver_scheduled_ = false;    // a pool driver task is queued/running
   std::size_t next_id_ = 0;
+  std::size_t group_counter_ = 0;    // id of the currently open group
+  std::uint32_t group_fill_ = 0;     // members submitted to the open group
   Stats stats_;
 };
 

@@ -5,6 +5,7 @@
 #include "adios/bp.hpp"
 #include "cache/block_cache.hpp"
 #include "obs/metrics.hpp"
+#include "tiering/tier_advisor.hpp"
 #include "util/assert.hpp"
 
 namespace canopus::serve {
@@ -47,7 +48,8 @@ double Calibration::tier_factor(const storage::StorageTier& tier) {
 
 CostModel CostModel::build(storage::StorageHierarchy& hierarchy,
                            const core::ProgressiveReader& reader,
-                           const Calibration* calibration) {
+                           const Calibration* calibration,
+                           const tiering::TierAdvisor* advisor) {
   CostModel model;
   const std::size_t levels = reader.level_count();
   if (levels <= 1) return model;
@@ -94,8 +96,19 @@ CostModel CostModel::build(storage::StorageHierarchy& hierarchy,
       // remote-resident, and pretending its record tier were local would
       // undercount the network envelope and overplan the reachable level.
       if (const auto local = hierarchy.find(b.object_key)) {
+        // An attached tier advisor may have already *planned* a move for
+        // this block; price its predicted tier so the plan matches what the
+        // query will read from (predictions only override locally resident
+        // blocks — the remote envelope below is never second-guessed).
+        std::size_t where = *local;
+        if (advisor != nullptr) {
+          const auto predicted = advisor->predicted_tier(b.object_key);
+          if (predicted.has_value() && *predicted < hierarchy.tier_count()) {
+            where = *predicted;
+          }
+        }
         step.io_seconds +=
-            tier_factors[*local] * hierarchy.tier(*local).read_cost(stored);
+            tier_factors[where] * hierarchy.tier(where).read_cost(stored);
       } else if (const auto* remote = hierarchy.remote_store()) {
         step.io_seconds += remote->estimated_read_cost(b.object_key, stored);
       } else {

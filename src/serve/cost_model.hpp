@@ -33,6 +33,12 @@
 #include "core/progressive_reader.hpp"
 #include "storage/hierarchy.hpp"
 
+// The tier advisor (src/tiering) supplies predicted residency; forward
+// declaration only, so serve TUs that never pass one don't pull tiering in.
+namespace canopus::tiering {
+class TierAdvisor;
+}  // namespace canopus::tiering
+
 namespace canopus::serve {
 
 /// Estimated cost of one refinement step (refining TO `level`).
@@ -75,10 +81,15 @@ class Calibration {
 class CostModel {
  public:
   /// Builds per-level step estimates for the variable `reader` has open.
-  /// `calibration` may be null (priors and factor 1 apply).
+  /// `calibration` may be null (priors and factor 1 apply). When `advisor`
+  /// is set, locally resident blocks are priced at the advisor's *predicted*
+  /// tier (TierAdvisor::predicted_tier) instead of their current one, so a
+  /// plan raced by a background promotion/demotion charges the placement the
+  /// query will actually read from.
   static CostModel build(storage::StorageHierarchy& hierarchy,
                          const core::ProgressiveReader& reader,
-                         const Calibration* calibration = nullptr);
+                         const Calibration* calibration = nullptr,
+                         const tiering::TierAdvisor* advisor = nullptr);
 
   /// One entry per refinable level, index = target level (0 .. levels-2).
   const std::vector<LevelCostEstimate>& steps() const { return steps_; }

@@ -6,11 +6,13 @@
 #include <limits>
 #include <utility>
 
+#include "adios/bp.hpp"
 #include "fabric/fabric.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "storage/blob_frame.hpp"
 #include "storage/tier.hpp"
+#include "tiering/tier_advisor.hpp"
 #include "util/assert.hpp"
 
 namespace canopus::serve {
@@ -257,6 +259,22 @@ QueryOutcome QueryScheduler::run_query(QueryRequest request,
         request.deadline_seconds.value_or(config_.default_deadline_seconds);
     const auto coarsest = static_cast<std::uint32_t>(reader.level_count() - 1);
     const std::uint32_t target = std::min(request.target_level, coarsest);
+    // Adaptive tiering: record this query's access intent — the base plus
+    // every delta level the refinement will touch — into the advisor's heat
+    // before any byte moves, so placement follows the workload rather than
+    // trailing it. (register_container is an idempotent no-op after the
+    // first query against the path.)
+    tiering::TierAdvisor* advisor = advisor_.load(std::memory_order_acquire);
+    if (advisor != nullptr) {
+      advisor->register_container(request.path);
+      for (const auto& b : reader.var_info().blocks) {
+        const bool touched =
+            b.kind == adios::BlockKind::kBase ||
+            b.kind == adios::BlockKind::kData ||
+            (b.kind == adios::BlockKind::kDelta && b.level >= target);
+        if (touched) advisor->heat().record(b.object_key, 1.0);
+      }
+    }
     // The cost model prices remote blocks through the directory's current
     // ownership (RemoteStore::estimated_read_cost). A topology change bumps
     // the epoch the node's RemoteStore surfaces; re-reading it before every
@@ -267,7 +285,8 @@ QueryOutcome QueryScheduler::run_query(QueryRequest request,
       return remote != nullptr ? remote->topology_epoch() : 0;
     };
     std::uint64_t model_epoch = topology_epoch();
-    CostModel model = CostModel::build(*hierarchy, reader, &calibration_);
+    CostModel model =
+        CostModel::build(*hierarchy, reader, &calibration_, advisor);
     const core::RetrievalTimings at_open = reader.cumulative();
     // The base retrieval already spent part of the budget; plan the reachable
     // level with what is left. Even a budget the base alone exceeded serves
@@ -290,7 +309,7 @@ QueryOutcome QueryScheduler::run_query(QueryRequest request,
       // first so remaining steps are priced at the blocks' new homes.
       if (const std::uint64_t now_epoch = topology_epoch();
           now_epoch != model_epoch) {
-        model = CostModel::build(*hierarchy, reader, &calibration_);
+        model = CostModel::build(*hierarchy, reader, &calibration_, advisor);
         model_epoch = now_epoch;
         count_serve("replans");
       }

@@ -148,6 +148,16 @@ class QueryScheduler {
     fabric_.store(fabric, std::memory_order_release);
   }
 
+  /// Plugs the workload-adaptive tier advisor in: queries record their
+  /// access intent into its HeatTracker before refining (the heat signal
+  /// that drives promotion), and the cost model prices blocks at the
+  /// advisor's predicted residency instead of the current placement. The
+  /// advisor must outlive the scheduler; pass nullptr to detach. Safe to
+  /// call while queries are in flight.
+  void attach_tier_advisor(tiering::TierAdvisor* advisor) {
+    advisor_.store(advisor, std::memory_order_release);
+  }
+
   struct Stats {
     std::uint64_t submitted = 0;
     std::uint64_t admitted = 0;
@@ -185,6 +195,7 @@ class QueryScheduler {
   const core::ParallelConfig parallel_;
   util::ThreadPool* session_pool_;  // not owned; may be null
   std::atomic<fabric::Fabric*> fabric_{nullptr};  // not owned; may be null
+  std::atomic<tiering::TierAdvisor*> advisor_{nullptr};  // not owned; may be null
   Calibration calibration_;
 
   mutable std::mutex mu_;

@@ -155,6 +155,9 @@ std::vector<std::string> StorageHierarchy::detach_tier(std::size_t i) {
     for (std::size_t t = 0; t < tiers_.size(); ++t) {
       if (t == i || !tiers_[t]->fits(data.size())) continue;
       tiers_[t]->write(key, data);
+      // Note the reported index is pre-removal; positions above `i` shift
+      // down when the tier goes away (observers range-check, per the header).
+      if (move_listener_) move_listener_(key, i, t);
       placed = true;
       break;
     }
@@ -260,6 +263,7 @@ IoResult StorageHierarchy::read(const std::string& key, util::Bytes& out) const 
   // A cache hit is a local serve: the bytes never left this node, whichever
   // node originally faulted them in.
   if (remote_ != nullptr) remote_->note_local_hit(key);
+  if (access_listener_) access_listener_(key, out.size());
   IoResult io;
   io.bytes = out.size();
   io.from_cache = true;
@@ -360,6 +364,7 @@ IoResult StorageHierarchy::read_local(std::size_t where, const std::string& key,
                       std::to_string(tiers_[where]->object_size(key)) +
                       " bytes");
     if (remote_ != nullptr) remote_->note_local_hit(key);
+    if (access_listener_) access_listener_(key, out.size());
     return acc;
   }
   // Primary copy exhausted its attempts: fall back to the replica, if any.
@@ -375,6 +380,7 @@ IoResult StorageHierarchy::read_local(std::size_t where, const std::string& key,
     CANOPUS_CHECK(out.size() == tiers_[*rtier]->object_size(rkey),
                   "short read of replica '" + rkey + "'");
     if (remote_ != nullptr) remote_->note_local_hit(key);
+    if (access_listener_) access_listener_(key, out.size());
     return acc;
   }
   CANOPUS_ASSERT(error != nullptr);
@@ -420,6 +426,22 @@ void StorageHierarchy::attach_remote_store(RemoteStore* remote) {
   remote_ = remote;
 }
 
+void StorageHierarchy::attach_access_listener(AccessListener listener) {
+  std::scoped_lock lock(mu_);
+  access_listener_ = std::move(listener);
+}
+
+void StorageHierarchy::attach_move_listener(MoveListener listener) {
+  std::scoped_lock lock(mu_);
+  move_listener_ = std::move(listener);
+}
+
+std::vector<std::string> StorageHierarchy::keys_on_tier(std::size_t i) const {
+  std::scoped_lock lock(mu_);
+  CANOPUS_ASSERT(i < tiers_.size());
+  return tiers_[i]->keys();
+}
+
 std::pair<std::size_t, std::size_t> StorageHierarchy::tier_usage(
     std::size_t i) const {
   std::scoped_lock lock(mu_);
@@ -455,6 +477,10 @@ IoResult StorageHierarchy::migrate(const std::string& key, std::size_t to_tier) 
   const auto write_io = tiers_[to_tier]->write(key, data);
   tiers_[*from]->erase(key);
   touch(key);
+  // Cached copies of the blob stay valid — the bytes are tier-independent —
+  // but residency observers must re-stamp, or planned costs go stale against
+  // the new placement (the move listener is that re-stamp hook).
+  if (move_listener_) move_listener_(key, *from, to_tier);
   return IoResult{read_io.sim_seconds + write_io.sim_seconds,
                   read_io.wall_seconds + write_io.wall_seconds, data.size()};
 }
@@ -491,7 +517,13 @@ std::vector<std::string> StorageHierarchy::make_room(std::size_t tier,
         break;
       }
     }
-    CANOPUS_CHECK(moved, "make_room: no lower tier can absorb '" + victim + "'");
+    // Same cannot-free-space condition as the empty-victim branch above, so
+    // the same typed error: a generic Error here would map to a different
+    // Status (kInternal vs kCapacity) at the facade for identical failures.
+    if (!moved) {
+      throw CapacityError("make_room: no lower tier can absorb '" + victim +
+                          "'");
+    }
     evicted.push_back(victim);
   }
   return evicted;

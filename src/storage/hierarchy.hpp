@@ -7,6 +7,7 @@
 // selected, exactly as Section III-D describes. The hierarchy remembers
 // which tier holds each object so retrieval is a single lookup.
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -117,6 +118,8 @@ class StorageHierarchy {
         retry_(o.retry_),
         cache_(std::move(o.cache_)),
         remote_(o.remote_),
+        access_listener_(std::move(o.access_listener_)),
+        move_listener_(std::move(o.move_listener_)),
         round_robin_next_(o.round_robin_next_),
         access_clock_(o.access_clock_),
         last_access_(std::move(o.last_access_)),
@@ -282,6 +285,34 @@ class StorageHierarchy {
   void attach_remote_store(RemoteStore* remote);
   RemoteStore* remote_store() const { return remote_; }
 
+  // --- Placement observation hooks (src/tiering plugs in here). ------------
+
+  /// Fires once per read this hierarchy serves locally — cache hits, tier
+  /// reads, replica fallbacks — with the object key and payload size. This is
+  /// the heat signal for workload-adaptive tiering.
+  using AccessListener = std::function<void(const std::string& key,
+                                            std::size_t bytes)>;
+  /// Fires after any migration — explicit migrate(), make_room() demotions,
+  /// detach_tier() drains — so residency observers (predicted-placement maps,
+  /// cost planners) can re-stamp instead of going stale.
+  using MoveListener = std::function<void(const std::string& key,
+                                          std::size_t from_tier,
+                                          std::size_t to_tier)>;
+
+  /// Installs the listener (last attach wins; empty function detaches).
+  /// Attach before concurrent use, like attach_remote_store: the read path
+  /// invokes the listener without re-taking the attachment lock. Listeners
+  /// run with the hierarchy mutex held on most paths and must only take leaf
+  /// locks (see tiering::HeatTracker) — calling back into the hierarchy from
+  /// a listener deadlocks on the non-recursive paths.
+  void attach_access_listener(AccessListener listener);
+  void attach_move_listener(MoveListener listener);
+
+  /// Locked snapshot of the keys on tier `i`, sorted (replica copies
+  /// included). Safe from background maintenance threads; used by heat-aware
+  /// eviction to rank victims.
+  std::vector<std::string> keys_on_tier(std::size_t i) const;
+
  private:
   /// choose_tier() narrowed to the key's tier-residency set (when one
   /// matches and names at least one live tier).
@@ -324,6 +355,8 @@ class StorageHierarchy {
   RetryPolicy retry_;
   std::shared_ptr<cache::BlockCache> cache_;
   RemoteStore* remote_ = nullptr;  // not owned; see attach_remote_store
+  AccessListener access_listener_;  // see attach_access_listener
+  MoveListener move_listener_;      // see attach_move_listener
   mutable std::size_t round_robin_next_ = 0;
   // LRU bookkeeping: monotone clock, last-access stamp per key.
   mutable std::uint64_t access_clock_ = 0;

@@ -1,0 +1,84 @@
+#include "tiering/heat_tracker.hpp"
+
+#include <cmath>
+
+#include "obs/metrics.hpp"
+#include "util/assert.hpp"
+
+namespace canopus::tiering {
+
+namespace {
+
+std::size_t fnv1a(const std::string& key) {
+  std::size_t h = 1469598103934665603ull;
+  for (const char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+HeatTracker::HeatTracker(double half_life_seconds)
+    : half_life_(half_life_seconds),
+      origin_(std::chrono::steady_clock::now()) {
+  CANOPUS_CHECK(std::isfinite(half_life_) && half_life_ > 0.0,
+                "heat tracker: half-life must be finite and > 0");
+}
+
+HeatTracker::Shard& HeatTracker::shard_for(const std::string& key) const {
+  return shards_[fnv1a(key) % kShards];
+}
+
+double HeatTracker::decay(double dt) const {
+  if (dt <= 0.0) return 1.0;
+  return std::exp2(-dt / half_life_);
+}
+
+void HeatTracker::record(const std::string& key, double weight,
+                         double now_seconds) {
+  {
+    Shard& shard = shard_for(key);
+    std::scoped_lock lock(shard.mu);
+    Entry& e = shard.entries[key];
+    e.value = e.value * decay(now_seconds - e.stamp) + weight;
+    if (now_seconds > e.stamp) e.stamp = now_seconds;
+  }
+  if (obs::enabled()) {
+    obs::MetricsRegistry::global().counter("tiering.heat_records").add(1);
+  }
+}
+
+void HeatTracker::record(const std::string& key, double weight) {
+  record(key, weight, now());
+}
+
+double HeatTracker::heat(const std::string& key, double now_seconds) const {
+  Shard& shard = shard_for(key);
+  std::scoped_lock lock(shard.mu);
+  const auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) return 0.0;
+  return it->second.value * decay(now_seconds - it->second.stamp);
+}
+
+double HeatTracker::heat(const std::string& key) const {
+  return heat(key, now());
+}
+
+double HeatTracker::now() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       origin_)
+      .count();
+}
+
+std::size_t HeatTracker::tracked() const {
+  std::size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::scoped_lock lock(shard.mu);
+    n += shard.entries.size();
+  }
+  return n;
+}
+
+}  // namespace canopus::tiering

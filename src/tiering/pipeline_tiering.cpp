@@ -1,0 +1,41 @@
+// Pipeline facade members that touch tiering::TierAdvisor. Defined here (not
+// in core) so core never references tiering symbols — the same split as
+// pipeline_serve.cpp and pipeline_fabric.cpp.
+
+#include "core/pipeline.hpp"
+#include "tiering/tier_advisor.hpp"
+
+namespace canopus {
+
+tiering::TierAdvisor& Pipeline::tier_advisor() {
+  std::call_once(advisor_once_, [this] {
+    auto advisor = std::make_shared<tiering::TierAdvisor>(
+        options_.tiering.value_or(tiering::TieringConfig{}));
+    advisor->watch(*hierarchy_);
+
+    std::scoped_lock lock(fabric_mu_);
+    if (fabric_ != nullptr) advisor->attach_fabric(fabric_);
+    tiering::TierAdvisor* raw = advisor.get();
+    // Compose with (not replace) the scheduler's fabric hook so a later
+    // attach_fabric() reaches both consumers.
+    auto previous = std::move(on_fabric_change_);
+    on_fabric_change_ = [raw, previous = std::move(previous)](
+                            fabric::Fabric* fabric) {
+      if (previous) previous(fabric);
+      raw->attach_fabric(fabric);
+    };
+    advisor_raw_ = raw;
+    // Tell the scheduler (if it exists already) about its new
+    // predicted-residency source.
+    if (on_advisor_change_) on_advisor_change_(raw);
+    if (advisor->config().enabled) advisor->start();
+    advisor_ = std::move(advisor);
+  });
+  return *advisor_;
+}
+
+tiering::TieringReport Pipeline::tiering_report() {
+  return tier_advisor().report();
+}
+
+}  // namespace canopus
